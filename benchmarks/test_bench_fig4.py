@@ -1,0 +1,64 @@
+"""Fig. 4 — two-stream instability growth rate vs linear theory.
+
+The validation configuration ``v0 = +/-0.2, vth = 0.025`` was never in
+the training sweep.  The paper's claim: in the linear phase both the
+traditional and the DL-based PIC reproduce the analytic slope
+``gamma = omega_pe / (2 sqrt(2)) ~= 0.354``.
+"""
+
+import numpy as np
+from conftest import dump_result
+
+from repro.experiments import run_fig4
+
+
+def test_fig4_growth_rate(solvers, results_dir, benchmark):
+    config = solvers.preset.validation_config()
+    result = benchmark.pedantic(
+        run_fig4, args=(solvers.mlp_solver, config), rounds=1, iterations=1
+    )
+    print()
+    print(result.summary())
+    print("  E1(t) series (every 10th step):")
+    for i in range(0, len(result.time), 10):
+        print(
+            f"    t={result.time[i]:5.1f}  traditional={result.e1_traditional[i]:.3e}"
+            f"  dl={result.e1_dl[i]:.3e}"
+        )
+
+    dump_result(
+        results_dir,
+        "fig4",
+        {
+            "gamma_theory": result.gamma_theory,
+            "gamma_traditional": result.fit_traditional.gamma,
+            "gamma_dl": result.fit_dl.gamma,
+            "r2_traditional": result.fit_traditional.r_squared,
+            "r2_dl": result.fit_dl.r_squared,
+            "e1_max_traditional": float(result.e1_traditional.max()),
+            "e1_max_dl": float(result.e1_dl.max()),
+        },
+    )
+
+    # Theory: the box is tuned to the maximum growth rate.
+    assert result.gamma_theory == np.float64(result.gamma_theory)
+    assert abs(result.gamma_theory - 0.3536) < 1e-3
+
+    # Traditional PIC matches linear theory closely (paper Fig. 4).
+    assert result.traditional_relative_error < 0.15
+    assert result.fit_traditional.r_squared > 0.9
+
+    # DL-based PIC reproduces the expected growth rate (the headline claim).
+    assert result.dl_relative_error < 0.35
+    assert result.fit_dl.r_squared > 0.85
+
+    # Both saturate at the same field scale (paper: max E ~ 0.1).
+    assert 0.03 < result.e1_traditional.max() < 0.3
+    assert 0.03 < result.e1_dl.max() < 0.3
+
+    # Phase-space holes: both methods mix the beams after saturation.
+    from repro.theory.coldbeam import beam_velocity_spread
+
+    for run in (result.traditional, result.dl):
+        up, down = beam_velocity_spread(run.final_v)
+        assert max(up, down) > 2 * config.vth

@@ -1,0 +1,71 @@
+"""Fig. 6 — cold-beam numerical instability (``v0 = +/-0.4, vth = 0``).
+
+This configuration is *linearly stable* (``k1 v0 = 1.224 > omega_pe``):
+physically the beams should stream forever.  Paper findings:
+
+1. the traditional momentum-conserving PIC develops non-physical
+   ripples (finite-grid instability) and loses total energy;
+2. the DL-based PIC's phase space stays clean, while its total
+   momentum variation grows over the run.
+
+Finding (1) and the momentum-variation part of (2) reproduce at the
+``medium`` training scale.  The DL phase-space *cleanliness* does not:
+the network's extrapolation error at the never-trained beam velocity
+0.4 injects fields that heat the beams (see EXPERIMENTS.md for the
+scale analysis).  The bench asserts what reproduces and records the
+rest.
+"""
+
+import numpy as np
+from conftest import dump_result
+
+from repro.experiments import run_fig6
+from repro.theory.dispersion import growth_rate_cold
+
+
+def test_fig6_coldbeam(solvers, results_dir, benchmark):
+    config = solvers.preset.coldbeam_config()
+    result = benchmark.pedantic(
+        run_fig6, args=(solvers.mlp_solver, config), rounds=1, iterations=1
+    )
+    print()
+    print(result.summary())
+
+    mt, md = result.metrics_traditional, result.metrics_dl
+    dump_result(
+        results_dir,
+        "fig6",
+        {
+            "spread_traditional": mt.max_spread,
+            "spread_dl": md.max_spread,
+            "rippled_traditional": mt.rippled,
+            "rippled_dl": md.rippled,
+            "energy_variation_traditional": mt.energy_variation,
+            "energy_variation_dl": md.energy_variation,
+            "momentum_final_traditional": float(result.momentum_traditional[-1]),
+            "momentum_final_dl": float(result.momentum_dl[-1]),
+            "total_energy_initial": float(result.total_energy_traditional[0]),
+        },
+    )
+
+    # The configuration is linearly stable.
+    assert growth_rate_cold(2 * np.pi / config.box_length, config.v0) == 0.0
+
+    # Initial energy matches the paper's ~0.164 Fig. 6 axis scale.
+    assert 0.160 < result.total_energy_traditional[0] < 0.168
+
+    # (1) Traditional PIC: cold-beam instability appears — beams that
+    # started perfectly cold acquire velocity structure...
+    assert mt.rippled
+    assert mt.max_spread > 1e-3
+    # ...and total energy changes measurably (paper: 0.1645 -> ~0.1612).
+    assert mt.energy_variation > 0.005
+
+    # No two-stream growth in either method: E1 stays far below the
+    # unstable case's ~0.1 saturation.
+    assert result.traditional.series["mode1"].max() < 0.02
+
+    # (2, partial) DL-based PIC: momentum variation grows over the run
+    # (paper bottom-right panel), far above the traditional round-off.
+    assert abs(result.momentum_dl[-1] - result.momentum_dl[0]) > 1e-4
+    assert abs(result.momentum_traditional[-1] - result.momentum_traditional[0]) < 1e-10

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: run the paper's two-stream benchmark with traditional PIC.
+
+Reproduces the physics baseline everything else builds on: the
+``v0 = +/-0.2, vth = 0.025`` two-stream instability at the paper's full
+resolution (64 cells, 1,000 electrons/cell, dt = 0.2, 200 steps), then
+checks the measured growth rate against linear theory and reports the
+conservation properties of Fig. 5.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.config import paper_validation_config
+from repro.pic import TraditionalPIC
+from repro.theory import fit_growth_rate, growth_rate_cold
+
+
+def main() -> None:
+    config = paper_validation_config(seed=1)
+    print("Two-stream instability, traditional PIC")
+    print(f"  box L = {config.box_length:.4f}  cells = {config.n_cells}  "
+          f"particles = {config.n_particles:,}  dt = {config.dt}")
+
+    sim = TraditionalPIC(config)
+    history = sim.run()  # 200 steps
+    series = history.as_arrays()
+
+    gamma_theory = growth_rate_cold(2 * np.pi / config.box_length, config.v0)
+    fit = fit_growth_rate(series["time"], series["mode1"])
+
+    print("\nGrowth of the most unstable mode (Fig. 4 bottom panel):")
+    print(f"  linear theory   gamma = {gamma_theory:.4f}")
+    print(f"  measured        gamma = {fit.gamma:.4f}  "
+          f"(rel. err. {fit.relative_error(gamma_theory):.1%}, r^2 = {fit.r_squared:.3f})")
+    print(f"  E1: {series['mode1'][0]:.2e} -> max {series['mode1'].max():.2e}")
+
+    print("\nConservation (Fig. 5):")
+    print(f"  total energy    {series['total'][0]:.5f} -> {series['total'][-1]:.5f}  "
+          f"(max variation {history.energy_variation():.2%})")
+    print(f"  total momentum  drift {history.momentum_drift():+.2e}  (round-off)")
+
+    spread = np.std(sim.particles.v[sim.particles.v > 0])
+    print(f"\nPhase space: the +v0 beam's velocity spread grew from "
+          f"{config.vth} to {spread:.3f} (phase-space hole formed).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Render the paper's figure panels as ASCII and build the repro report.
+
+Headless stand-in for the MATLAB plots: draws the Fig. 4 top panels
+(phase-space holes) and bottom panel (E1 growth on a log axis) as text,
+and — if the benchmark suite has been run — assembles the full
+paper-vs-measured markdown report from `.artifacts/results/`.
+
+Run:  python examples/render_report.py [--preset fast|medium]
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.analysis import build_report, render_phase_space, render_series
+from repro.experiments import fast_preset, medium_preset, run_fig4, train_solvers
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", choices=["fast", "medium"], default="fast")
+    args = parser.parse_args()
+    preset = {"fast": fast_preset, "medium": medium_preset}[args.preset]()
+
+    solvers = train_solvers(preset, cache_dir="./.artifacts", include_cnn=False)
+    config = preset.validation_config()
+    result = run_fig4(solvers.mlp_solver, config)
+
+    print(render_phase_space(
+        result.traditional.final_x, result.traditional.final_v,
+        box_length=config.box_length, width=64, height=16,
+        title=f"\nTraditional PIC phase space, t = {result.time[-1]:.0f} "
+              f"(v0 = {config.v0}, vth = {config.vth})",
+    ))
+    print(render_phase_space(
+        result.dl.final_x, result.dl.final_v,
+        box_length=config.box_length, width=64, height=16,
+        title=f"\nDL-based PIC phase space, t = {result.time[-1]:.0f}",
+    ))
+    print(render_series(
+        result.time[1:], result.e1_traditional[1:], logscale=True,
+        width=64, height=14, title="\nE1 amplitude, traditional PIC (log scale)",
+    ))
+    print(render_series(
+        result.time[1:], result.e1_dl[1:], logscale=True,
+        width=64, height=14, title="\nE1 amplitude, DL-based PIC (log scale)",
+    ))
+    print()
+    print(result.summary())
+
+    results_dir = Path(".artifacts/results")
+    if results_dir.is_dir():
+        report = build_report(results_dir)
+        out = Path(".artifacts/report.md")
+        out.write_text(report)
+        print(f"\nFull paper-vs-measured report written to {out}")
+    else:
+        print("\n(no .artifacts/results yet — run `pytest benchmarks/ "
+              "--benchmark-only` to enable the full report)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim for environments without PEP 517 build isolation."""
+
+from setuptools import setup
+
+setup()

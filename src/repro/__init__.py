@@ -1,0 +1,49 @@
+"""repro — reproduction of "A Deep Learning-Based Particle-in-Cell
+Method for Plasma Simulations" (Aguilar & Markidis, CLUSTER 2021).
+
+The package layers three systems:
+
+* ``repro.pic`` — a traditional explicit electrostatic 1D PIC code
+  (the paper's Fig. 1 cycle) with NGP/CIC/TSC interpolation and three
+  interchangeable Poisson solvers;
+* ``repro.nn`` + ``repro.models`` — a from-scratch NumPy deep-learning
+  framework and the paper's MLP/CNN architectures;
+* ``repro.dlpic`` — the paper's contribution: a PIC method whose field
+  solve is a neural network mapping the binned electron phase space to
+  the electric field (Fig. 2).
+
+Supporting subsystems: ``repro.phasespace`` (binning + Eq. 5
+normalization), ``repro.datagen`` (the Sec. IV-A1 training-data
+campaign), ``repro.theory`` (two-stream linear theory, growth-rate
+fitting, cold-beam ripple metrics), ``repro.parallel`` (domain
+decomposition + communication-volume model for the Sec. VII claims),
+``repro.vlasov`` (a noise-free Vlasov-Poisson reference solver, the
+paper's future-work data source) and ``repro.experiments`` (one entry
+point per paper table/figure).
+
+Quickstart
+----------
+>>> from repro.config import paper_validation_config
+>>> from repro.pic import TraditionalPIC
+>>> sim = TraditionalPIC(paper_validation_config(seed=1))
+>>> history = sim.run(200)
+>>> history.energy_variation() < 0.02
+True
+"""
+
+from repro import constants
+from repro.config import (
+    SimulationConfig,
+    paper_coldbeam_config,
+    paper_validation_config,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "constants",
+    "SimulationConfig",
+    "paper_validation_config",
+    "paper_coldbeam_config",
+    "__version__",
+]

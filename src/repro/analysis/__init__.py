@@ -1,0 +1,12 @@
+"""Post-processing: text rendering of figures and report generation.
+
+The paper's figures are MATLAB plots; in a headless reproduction the
+equivalents are (a) ASCII renderings of the phase-space panels and
+amplitude series and (b) a markdown report assembling every measured
+number next to its paper value.
+"""
+
+from repro.analysis.render import render_phase_space, render_series
+from repro.analysis.report import build_report
+
+__all__ = ["render_phase_space", "render_series", "build_report"]

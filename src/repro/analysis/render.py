@@ -1,0 +1,108 @@
+"""ASCII rendering of phase-space panels and time series.
+
+Headless stand-ins for the paper's figure panels: a density-shaded
+character raster of the ``(x, v)`` phase space (Figs. 4/6 top) and a
+log/linear line chart of a scalar history (Figs. 4 bottom, 5, 6
+bottom).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.phasespace.binning import PhaseSpaceGrid, bin_phase_space
+
+#: Density ramp from empty to full.
+_SHADES = " .:-=+*#%@"
+
+
+def render_phase_space(
+    x: np.ndarray,
+    v: np.ndarray,
+    grid: "PhaseSpaceGrid | None" = None,
+    width: int = 64,
+    height: int = 20,
+    box_length: "float | None" = None,
+    title: str = "",
+) -> str:
+    """Render particles as a density-shaded character raster.
+
+    The vertical axis is velocity (increasing upward, like the paper's
+    plots); shading is normalized to the densest cell.
+    """
+    if width < 2 or height < 2:
+        raise ValueError(f"raster too small: {width}x{height}")
+    if grid is None:
+        v = np.asarray(v, dtype=np.float64)
+        span = float(np.max(np.abs(v))) if v.size else 1.0
+        span = span if span > 0 else 1.0
+        if box_length is None:
+            raise ValueError("either grid or box_length must be given")
+        grid = PhaseSpaceGrid(
+            n_x=width, n_v=height, box_length=box_length,
+            v_min=-1.1 * span, v_max=1.1 * span,
+        )
+    hist = bin_phase_space(x, v, grid, order="ngp")
+    peak = hist.max()
+    lines = []
+    if title:
+        lines.append(title)
+    for row in range(grid.n_v - 1, -1, -1):  # velocity increases upward
+        chars = []
+        for col in range(grid.n_x):
+            frac = hist[row, col] / peak if peak > 0 else 0.0
+            chars.append(_SHADES[min(int(frac * (len(_SHADES) - 1) + 0.5),
+                                     len(_SHADES) - 1)])
+        edge = grid.v_min + (row + 0.5) * grid.dv
+        lines.append(f"{edge:+7.3f} |{''.join(chars)}|")
+    lines.append(" " * 8 + "+" + "-" * grid.n_x + "+")
+    lines.append(" " * 9 + f"x = 0 ... {grid.box_length:.3f}")
+    return "\n".join(lines)
+
+
+def render_series(
+    t: np.ndarray,
+    y: np.ndarray,
+    width: int = 64,
+    height: int = 16,
+    logscale: bool = False,
+    title: str = "",
+) -> str:
+    """Render ``y(t)`` as an ASCII line chart."""
+    t = np.asarray(t, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if t.shape != y.shape or t.ndim != 1 or t.size < 2:
+        raise ValueError(f"need equal-length 1D series of >= 2 points, got {t.shape}, {y.shape}")
+    if width < 2 or height < 2:
+        raise ValueError(f"chart too small: {width}x{height}")
+    vals = y.copy()
+    if logscale:
+        if np.any(vals <= 0):
+            raise ValueError("logscale requires positive values")
+        vals = np.log10(vals)
+    lo, hi = float(vals.min()), float(vals.max())
+    if hi == lo:
+        hi = lo + 1.0
+    # Column-wise max over samples mapped into each column.
+    cols = np.minimum(((t - t[0]) / (t[-1] - t[0]) * (width - 1)).astype(int), width - 1)
+    raster = np.full((height, width), " ", dtype="<U1")
+    for col in range(width):
+        mask = cols == col
+        if not np.any(mask):
+            continue
+        level = (vals[mask].mean() - lo) / (hi - lo)
+        row = min(int(level * (height - 1) + 0.5), height - 1)
+        raster[height - 1 - row, col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"1e{hi:+.2f}" if logscale else f"{hi:.4g}"
+    bottom = f"1e{lo:+.2f}" if logscale else f"{lo:.4g}"
+    for i, row in enumerate(raster):
+        label = top if i == 0 else (bottom if i == height - 1 else "")
+        lines.append(f"{label:>10} |{''.join(row)}|")
+    lines.append(" " * 11 + "+" + "-" * width + "+")
+    lines.append(" " * 12 + f"t = {t[0]:.3g} ... {t[-1]:.3g}")
+    return "\n".join(lines)

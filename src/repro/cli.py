@@ -1,0 +1,189 @@
+"""Command-line interface.
+
+Four subcommands mirror the library's main workflows::
+
+    python -m repro.cli simulate   # run a traditional PIC two-stream sim
+    python -m repro.cli dataset    # generate a training campaign
+    python -m repro.cli train      # train the DL solvers (Sec. IV pipeline)
+    python -m repro.cli reproduce  # regenerate a paper table/figure
+
+All numeric output also lands in ``--out`` npz/json files so results
+can be post-processed without re-running.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+import numpy as np
+
+
+def _add_simulate(sub: "argparse._SubParsersAction") -> None:
+    p = sub.add_parser("simulate", help="run a traditional PIC two-stream simulation")
+    p.add_argument("--v0", type=float, default=0.2, help="beam drift speed")
+    p.add_argument("--vth", type=float, default=0.025, help="thermal spread")
+    p.add_argument("--cells", type=int, default=64)
+    p.add_argument("--ppc", type=int, default=1000, help="particles per cell")
+    p.add_argument("--steps", type=int, default=200)
+    p.add_argument("--dt", type=float, default=0.2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--interpolation", choices=["ngp", "cic", "tsc"], default="cic")
+    p.add_argument("--poisson", choices=["spectral", "fd", "direct"], default="spectral")
+    p.add_argument("--out", default=None, help="save the history to this .npz")
+
+
+def _add_dataset(sub: "argparse._SubParsersAction") -> None:
+    p = sub.add_parser("dataset", help="generate a training data campaign")
+    p.add_argument("--preset", choices=["fast", "medium", "paper"], default="fast")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--out", default="dataset.npz")
+
+
+def _add_train(sub: "argparse._SubParsersAction") -> None:
+    p = sub.add_parser("train", help="run the Sec. IV training pipeline")
+    p.add_argument("--preset", choices=["fast", "medium", "paper"], default="fast")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--cache", default=".artifacts")
+    p.add_argument("--no-cnn", action="store_true")
+
+
+def _add_reproduce(sub: "argparse._SubParsersAction") -> None:
+    p = sub.add_parser("reproduce", help="regenerate a paper table/figure")
+    p.add_argument("artifact", choices=["table1", "fig4", "fig5", "fig6"])
+    p.add_argument("--preset", choices=["fast", "medium"], default="medium")
+    p.add_argument("--cache", default=".artifacts")
+    p.add_argument("--out", default=None, help="save the result summary to this .json")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the DL-based PIC method (CLUSTER 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_simulate(sub)
+    _add_dataset(sub)
+    _add_train(sub)
+    _add_reproduce(sub)
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.config import SimulationConfig
+    from repro.pic import TraditionalPIC
+    from repro.theory import fit_growth_rate, growth_rate_cold
+    from repro.utils.io import save_npz_dict
+
+    config = SimulationConfig(
+        n_cells=args.cells, particles_per_cell=args.ppc, n_steps=args.steps,
+        dt=args.dt, v0=args.v0, vth=args.vth, seed=args.seed,
+        interpolation=args.interpolation, poisson_solver=args.poisson,
+    )
+    sim = TraditionalPIC(config)
+    history = sim.run()
+    series = history.as_arrays()
+    gamma_theory = growth_rate_cold(2 * np.pi / config.box_length, config.v0)
+    print(f"ran {args.steps} steps: E1 {series['mode1'][0]:.2e} -> "
+          f"max {series['mode1'].max():.2e}")
+    print(f"energy variation {history.energy_variation():.2%}, "
+          f"momentum drift {history.momentum_drift():+.2e}")
+    if gamma_theory > 0:
+        fit = fit_growth_rate(series["time"], series["mode1"])
+        print(f"growth rate: measured {fit.gamma:.4f} vs theory {gamma_theory:.4f}")
+    else:
+        print("configuration is linearly stable (k1*v0 >= 1)")
+    if args.out:
+        save_npz_dict(args.out, dict(series))
+        print(f"history saved to {args.out}")
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.datagen import fast_campaign, medium_campaign, paper_campaign, run_campaign
+
+    campaign = {"fast": fast_campaign, "medium": medium_campaign,
+                "paper": paper_campaign}[args.preset]()
+    print(f"running {campaign.n_simulations} simulations "
+          f"({campaign.n_samples:,} samples)...")
+    data = run_campaign(campaign, n_workers=args.workers)
+    data.save(args.out)
+    print(f"saved {len(data):,} pairs to {args.out}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        fast_preset, format_table1, medium_preset, paper_preset,
+        run_table1, train_solvers,
+    )
+
+    preset = {"fast": fast_preset, "medium": medium_preset,
+              "paper": paper_preset}[args.preset]()
+    solvers = train_solvers(preset, cache_dir=args.cache,
+                            include_cnn=not args.no_cnn,
+                            n_workers=args.workers, verbose=True)
+    print(format_table1(run_table1(solvers)))
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        fast_preset, format_table1, medium_preset,
+        run_fig4, run_fig5, run_fig6, run_table1, train_solvers,
+    )
+
+    preset = {"fast": fast_preset, "medium": medium_preset}[args.preset]()
+    solvers = train_solvers(preset, cache_dir=args.cache, include_cnn=True)
+    payload: dict
+    if args.artifact == "table1":
+        rows = run_table1(solvers)
+        print(format_table1(rows))
+        payload = {f"{r.network}-{r.test_set}": {"mae": r.mae, "max_error": r.max_error}
+                   for r in rows}
+    elif args.artifact == "fig4":
+        r4 = run_fig4(solvers.mlp_solver, preset.validation_config())
+        print(r4.summary())
+        payload = {"gamma_theory": r4.gamma_theory,
+                   "gamma_traditional": r4.fit_traditional.gamma,
+                   "gamma_dl": r4.fit_dl.gamma}
+    elif args.artifact == "fig5":
+        r5 = run_fig5(solvers.mlp_solver, preset.validation_config())
+        print(r5.summary())
+        payload = {"energy_variation_traditional": r5.energy_variation_traditional,
+                   "energy_variation_dl": r5.energy_variation_dl,
+                   "momentum_drift_traditional": r5.momentum_drift_traditional,
+                   "momentum_drift_dl": r5.momentum_drift_dl}
+    else:
+        r6 = run_fig6(solvers.mlp_solver, preset.coldbeam_config())
+        print(r6.summary())
+        payload = {"spread_traditional": r6.metrics_traditional.max_spread,
+                   "spread_dl": r6.metrics_dl.max_spread,
+                   "rippled_traditional": r6.metrics_traditional.rippled,
+                   "rippled_dl": r6.metrics_dl.rippled}
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"summary saved to {args.out}")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "dataset": _cmd_dataset,
+    "train": _cmd_train,
+    "reproduce": _cmd_reproduce,
+}
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

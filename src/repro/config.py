@@ -1,0 +1,143 @@
+"""Simulation configuration dataclasses.
+
+:class:`SimulationConfig` captures every knob of a single 1D
+electrostatic PIC run.  The defaults reproduce the paper's setup
+(Sec. III): ``L = 2*pi/3.06``, 64 cells, 1,000 electrons per cell,
+``dt = 0.2`` and the validation beams ``v0 = +/-0.2``, ``vth = 0.025``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro import constants
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Parameters of a single two-stream PIC simulation.
+
+    Attributes
+    ----------
+    box_length:
+        Periodic domain size ``L``.
+    n_cells:
+        Number of grid cells (and grid nodes, the grid is periodic).
+    particles_per_cell:
+        Electron macro-particles per cell; total is ``n_cells * ppc``.
+    dt:
+        Time step.
+    n_steps:
+        Default number of PIC cycles for :meth:`run`.
+    v0:
+        Beam drift speed; the two beams move at ``+v0`` and ``-v0``.
+    vth:
+        Thermal spread (standard deviation of the Gaussian velocity
+        perturbation added to each beam).
+    qm:
+        Charge-to-mass ratio of the electrons (sign included).
+    interpolation:
+        Particle-grid shape function: ``"ngp"``, ``"cic"`` or ``"tsc"``.
+        Used for both gather and deposit (momentum-conserving pairing).
+    poisson_solver:
+        ``"spectral"`` (exact ``k**2``), ``"fd"`` (FFT-diagonalized
+        second-order finite differences) or ``"direct"`` (banded LU).
+    gradient:
+        How ``E = -grad(phi)`` is discretized: ``"central"`` or
+        ``"spectral"``.
+    loading:
+        ``"random"`` (paper: uniform random positions) or ``"quiet"``
+        (evenly spaced positions per beam, optionally perturbed).
+    perturbation:
+        Relative amplitude of a sinusoidal density perturbation of mode
+        ``perturbation_mode`` applied at loading (0 disables it; the
+        paper relies on particle noise, so the default is 0).
+    perturbation_mode:
+        Mode number of the seeded perturbation.
+    seed:
+        RNG seed for particle loading.
+    """
+
+    box_length: float = constants.TWO_STREAM_BOX_LENGTH
+    n_cells: int = constants.PAPER_N_CELLS
+    particles_per_cell: int = constants.PAPER_PARTICLES_PER_CELL
+    dt: float = constants.PAPER_DT
+    n_steps: int = constants.PAPER_N_STEPS
+    v0: float = constants.PAPER_VALIDATION_V0
+    vth: float = constants.PAPER_VALIDATION_VTH
+    qm: float = constants.ELECTRON_QM
+    interpolation: str = "cic"
+    poisson_solver: str = "spectral"
+    gradient: str = "central"
+    loading: str = "random"
+    perturbation: float = 0.0
+    perturbation_mode: int = 1
+    seed: int = 0
+    extra: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.box_length <= 0:
+            raise ValueError(f"box_length must be positive, got {self.box_length}")
+        if self.n_cells < 2:
+            raise ValueError(f"n_cells must be >= 2, got {self.n_cells}")
+        if self.particles_per_cell < 1:
+            raise ValueError(f"particles_per_cell must be >= 1, got {self.particles_per_cell}")
+        if self.dt <= 0:
+            raise ValueError(f"dt must be positive, got {self.dt}")
+        if self.n_steps < 0:
+            raise ValueError(f"n_steps must be non-negative, got {self.n_steps}")
+        if self.vth < 0:
+            raise ValueError(f"vth must be non-negative, got {self.vth}")
+        if self.interpolation not in ("ngp", "cic", "tsc"):
+            raise ValueError(f"unknown interpolation {self.interpolation!r}")
+        if self.poisson_solver not in ("spectral", "fd", "direct"):
+            raise ValueError(f"unknown poisson_solver {self.poisson_solver!r}")
+        if self.gradient not in ("central", "spectral"):
+            raise ValueError(f"unknown gradient {self.gradient!r}")
+        if self.loading not in ("random", "quiet"):
+            raise ValueError(f"unknown loading {self.loading!r}")
+
+    @property
+    def n_particles(self) -> int:
+        """Total number of electron macro-particles."""
+        return self.n_cells * self.particles_per_cell
+
+    @property
+    def dx(self) -> float:
+        """Grid spacing."""
+        return self.box_length / self.n_cells
+
+    @property
+    def particle_charge(self) -> float:
+        """Macro-particle charge; mean electron density is exactly -1."""
+        return -self.box_length / self.n_particles
+
+    @property
+    def particle_mass(self) -> float:
+        """Macro-particle mass, consistent with ``qm``."""
+        return self.particle_charge / self.qm
+
+    def with_updates(self, **kwargs: Any) -> "SimulationConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+def paper_validation_config(seed: int = 0, **overrides: Any) -> SimulationConfig:
+    """Configuration of Figs. 4-5: ``v0 = 0.2``, ``vth = 0.025``."""
+    cfg = SimulationConfig(
+        v0=constants.PAPER_VALIDATION_V0,
+        vth=constants.PAPER_VALIDATION_VTH,
+        seed=seed,
+    )
+    return cfg.with_updates(**overrides) if overrides else cfg
+
+
+def paper_coldbeam_config(seed: int = 0, **overrides: Any) -> SimulationConfig:
+    """Configuration of Fig. 6: ``v0 = 0.4``, ``vth = 0`` (cold beams)."""
+    cfg = SimulationConfig(
+        v0=constants.PAPER_COLDBEAM_V0,
+        vth=constants.PAPER_COLDBEAM_VTH,
+        seed=seed,
+    )
+    return cfg.with_updates(**overrides) if overrides else cfg

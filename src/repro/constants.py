@@ -1,0 +1,70 @@
+"""Physical and numerical constants for the dimensionless PIC system.
+
+The paper (Sec. III) works in dimensionless units: the vacuum
+permittivity is 1, the electron plasma frequency is 1, and the electron
+charge-to-mass ratio has magnitude 1.  The box length is fixed to
+``2*pi/3.06`` so that the fundamental mode ``k1 = 3.06`` sits at the
+maximum-growth point of the two-stream instability for beams drifting
+at ``v0 = +/-0.2`` (``k1*v0 = sqrt(3/8)``).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Vacuum permittivity in dimensionless units.
+EPSILON_0: float = 1.0
+
+#: Magnitude of the electron charge-to-mass ratio (paper: "q/m equal to one").
+QM_MAGNITUDE: float = 1.0
+
+#: Electron charge-to-mass ratio with its physical sign.
+ELECTRON_QM: float = -1.0
+
+#: Electron plasma frequency implied by the unit system.
+PLASMA_FREQUENCY: float = 1.0
+
+#: Box length used throughout the paper: ``L = 2*pi/3.06``.
+TWO_STREAM_BOX_LENGTH: float = 2.0 * math.pi / 3.06
+
+#: Fundamental wavenumber of the paper's box, ``k1 = 2*pi/L = 3.06``.
+TWO_STREAM_K1: float = 3.06
+
+#: Number of grid cells used in every experiment of the paper.
+PAPER_N_CELLS: int = 64
+
+#: Electrons per cell used in the paper.
+PAPER_PARTICLES_PER_CELL: int = 1000
+
+#: Simulation time step used in the paper.
+PAPER_DT: float = 0.2
+
+#: Number of PIC cycles per training simulation (Sec. IV-A1).
+PAPER_N_STEPS: int = 200
+
+#: Beam drift speeds used to build the paper's training campaign.
+PAPER_TRAINING_V0: tuple[float, ...] = (0.05, 0.15, 0.18, 0.1, 0.3)
+
+#: Thermal speeds used to build the paper's training campaign.
+PAPER_TRAINING_VTH: tuple[float, ...] = (0.0, 0.01, 0.001, 0.005)
+
+#: Seeds-per-combination ("10 experiments ... as a way of data augmentation").
+PAPER_EXPERIMENTS_PER_COMBO: int = 10
+
+#: Validation configuration of Figs. 4-5 (not present in the training sweep).
+PAPER_VALIDATION_V0: float = 0.2
+PAPER_VALIDATION_VTH: float = 0.025
+
+#: Cold-beam (numerically unstable for traditional PIC) run of Fig. 6.
+PAPER_COLDBEAM_V0: float = 0.4
+PAPER_COLDBEAM_VTH: float = 0.0
+
+#: Maximum growth rate of the symmetric cold two-stream instability,
+#: ``gamma_max = omega_pe / (2*sqrt(2))``, attained at ``k*v0 = sqrt(3/8)``.
+MAX_TWO_STREAM_GROWTH_RATE: float = 1.0 / (2.0 * math.sqrt(2.0))
+
+#: ``k*v0`` at which the two-stream growth rate is maximal.
+MOST_UNSTABLE_KV0: float = math.sqrt(3.0 / 8.0)
+
+#: ``k*v0`` above which the symmetric cold two-stream system is stable.
+TWO_STREAM_STABILITY_THRESHOLD_KV0: float = 1.0

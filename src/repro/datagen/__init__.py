@@ -1,0 +1,21 @@
+"""Training-data generation from traditional PIC simulations (Sec. IV-A1)."""
+
+from repro.datagen.dataset import FieldDataset
+from repro.datagen.campaign import (
+    CampaignConfig,
+    harvest_simulation,
+    run_campaign,
+    run_test_set_ii,
+)
+from repro.datagen.presets import fast_campaign, medium_campaign, paper_campaign
+
+__all__ = [
+    "FieldDataset",
+    "CampaignConfig",
+    "harvest_simulation",
+    "run_campaign",
+    "run_test_set_ii",
+    "fast_campaign",
+    "medium_campaign",
+    "paper_campaign",
+]

@@ -1,0 +1,44 @@
+"""The DL-based PIC method: the full cycle of the paper's Fig. 2.
+
+Identical to the traditional cycle except that the field-solver stage
+(charge deposition + Poisson solve) is replaced by phase-space binning
+and a neural-network prediction.  The interpolation of the field to
+particle positions and the Newton/leapfrog mover are retained verbatim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.dlpic.solver import DLFieldSolver
+from repro.pic.simulation import PICSimulation
+
+
+class DLPIC(PICSimulation):
+    """PIC simulation whose field solve is a trained neural network."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        solver: DLFieldSolver,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> None:
+        if abs(solver.ps_grid.box_length - config.box_length) > 1e-12 * config.box_length:
+            raise ValueError(
+                f"solver was trained for box length {solver.ps_grid.box_length}, "
+                f"simulation uses {config.box_length}"
+            )
+        super().__init__(config, solver, rng)
+
+    @property
+    def dl_solver(self) -> DLFieldSolver:
+        """The neural field solver driving this run."""
+        solver = self.field_solver
+        assert isinstance(solver, DLFieldSolver)
+        return solver
+
+    @property
+    def last_histogram(self) -> "np.ndarray | None":
+        """Phase-space histogram from the most recent field prediction."""
+        return self.dl_solver.last_histogram

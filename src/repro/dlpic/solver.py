@@ -1,0 +1,122 @@
+"""The DL electric-field solver (grey boxes of the paper's Fig. 2).
+
+At every PIC cycle the solver (1) bins the particle phase space onto a
+2D grid, (2) min-max normalizes the histogram with the statistics
+*frozen at training time* (Eq. 5), and (3) evaluates the trained
+network to predict the electric field on the 64 grid nodes.  No charge
+deposition and no Poisson solve take place.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.network import Sequential
+from repro.phasespace.binning import PhaseSpaceGrid, bin_phase_space
+from repro.phasespace.normalization import MinMaxNormalizer
+
+_INPUT_KINDS = ("flat", "image")
+
+
+class DLFieldSolver:
+    """Predicts ``E`` on the grid from the particle phase space.
+
+    Parameters
+    ----------
+    model:
+        A trained network mapping normalized histograms to the field.
+    ps_grid:
+        Phase-space discretization used at training time (must match).
+    normalizer:
+        The min-max scaler fitted on the training inputs.
+    input_kind:
+        ``"flat"`` feeds histograms as ``(N, n_v*n_x)`` vectors (MLP);
+        ``"image"`` as ``(N, 1, n_v, n_x)`` tensors (CNN).
+    binning:
+        Phase-space binning order, ``"ngp"`` (paper) or ``"cic"``.
+
+    The object satisfies the ``FieldSolver`` protocol of
+    ``repro.pic.simulation`` and plugs directly into the PIC cycle.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        ps_grid: PhaseSpaceGrid,
+        normalizer: MinMaxNormalizer,
+        input_kind: str = "flat",
+        binning: str = "ngp",
+    ) -> None:
+        if input_kind not in _INPUT_KINDS:
+            raise ValueError(f"unknown input_kind {input_kind!r}; expected one of {_INPUT_KINDS}")
+        if not normalizer.fitted:
+            raise ValueError("normalizer must be fitted before building a DLFieldSolver")
+        self.model = model
+        self.ps_grid = ps_grid
+        self.normalizer = normalizer
+        self.input_kind = input_kind
+        self.binning = binning
+        self.last_histogram: "np.ndarray | None" = None
+
+    def prepare_input(self, histogram: np.ndarray) -> np.ndarray:
+        """Normalize a single histogram and shape it for the network."""
+        histogram = np.asarray(histogram, dtype=np.float64)
+        if histogram.shape != self.ps_grid.shape:
+            raise ValueError(f"histogram {histogram.shape} does not match grid {self.ps_grid.shape}")
+        norm = self.normalizer.transform(histogram)
+        if self.input_kind == "flat":
+            return norm.reshape(1, -1)
+        return norm.reshape(1, 1, *self.ps_grid.shape)
+
+    def predict_from_histogram(self, histogram: np.ndarray) -> np.ndarray:
+        """Network prediction for one raw (unnormalized) histogram."""
+        return self.model.predict(self.prepare_input(histogram))[0]
+
+    def field(self, x: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """``FieldSolver`` protocol entry point used by the PIC cycle."""
+        hist = bin_phase_space(x, v, self.ps_grid, order=self.binning)
+        self.last_histogram = hist
+        return self.predict_from_histogram(hist)
+
+    # -- persistence -----------------------------------------------------
+    def save(self, directory: "str | Path") -> Path:
+        """Write ``model.npz`` + ``solver.json`` into ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        self.model.save(directory / "model.npz")
+        meta = {
+            "input_kind": self.input_kind,
+            "binning": self.binning,
+            "normalizer": self.normalizer.to_dict(),
+            "ps_grid": {
+                "n_x": self.ps_grid.n_x,
+                "n_v": self.ps_grid.n_v,
+                "box_length": self.ps_grid.box_length,
+                "v_min": self.ps_grid.v_min,
+                "v_max": self.ps_grid.v_max,
+            },
+        }
+        (directory / "solver.json").write_text(json.dumps(meta, indent=2))
+        return directory
+
+    @classmethod
+    def load(cls, directory: "str | Path", model: Sequential) -> "DLFieldSolver":
+        """Rebuild a solver; ``model`` must have the saved architecture.
+
+        The caller constructs the (untrained) architecture — e.g. via
+        ``repro.models.build_mlp`` — and this method loads the weights
+        and the frozen preprocessing state into it.
+        """
+        directory = Path(directory)
+        meta = json.loads((directory / "solver.json").read_text())
+        model.load(directory / "model.npz")
+        return cls(
+            model=model,
+            ps_grid=PhaseSpaceGrid(**meta["ps_grid"]),
+            normalizer=MinMaxNormalizer.from_dict(meta["normalizer"]),
+            input_kind=meta["input_kind"],
+            binning=meta["binning"],
+        )

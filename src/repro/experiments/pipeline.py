@@ -1,0 +1,292 @@
+"""Shared dataset-generation + training pipeline with on-disk caching.
+
+All paper experiments need the same expensive prerequisite: a training
+campaign and two trained networks.  :func:`train_solvers` runs the full
+Sec. IV pipeline (sweep -> shuffle/split -> Eq. 5 normalization -> Adam
+training of the MLP and CNN) and caches every artifact under a preset-
+named directory, so the benchmark suite pays the cost once.
+
+Three presets scale the identical pipeline: ``paper`` (full 40k-sample
+sweep, 1024-wide networks, 150/100 epochs — hours on CPU), ``medium``
+(the benchmark default — minutes) and ``fast`` (seconds, for tests).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro import constants
+from repro.config import SimulationConfig
+from repro.datagen.campaign import CampaignConfig, run_campaign, run_test_set_ii
+from repro.datagen.dataset import FieldDataset
+from repro.datagen.presets import fast_campaign, medium_campaign, paper_campaign
+from repro.dlpic.solver import DLFieldSolver
+from repro.models.architectures import build_cnn, build_mlp
+from repro.nn.losses import MSELoss
+from repro.nn.network import Sequential
+from repro.nn.optimizers import Adam
+from repro.nn.training import Trainer, TrainingHistory
+from repro.phasespace.normalization import MinMaxNormalizer
+
+#: Default artifact cache location (created on demand).
+DEFAULT_CACHE = Path(__file__).resolve().parents[3] / ".artifacts"
+
+
+@dataclass(frozen=True)
+class ExperimentPreset:
+    """Scale knobs of the shared pipeline (physics is never changed)."""
+
+    name: str
+    campaign: CampaignConfig
+    mlp_hidden: int
+    mlp_epochs: int
+    cnn_channels: tuple[int, int]
+    cnn_hidden: int
+    cnn_epochs: int
+    batch_size: int = 64
+    learning_rate: float = 1e-4
+    n_val: int = 1000
+    n_test: int = 1000
+    test2_v0: tuple[float, ...] = (0.2, 0.25)
+    test2_vth: tuple[float, ...] = (0.0025, 0.025)
+    n_test2: int = 1000
+    train_seed: int = 2021
+
+    def validation_config(self, seed: int = 9001) -> SimulationConfig:
+        """Figs. 4-5 run derived from the campaign's base config.
+
+        Must share ``particles_per_cell`` with the campaign: histogram
+        counts scale with particle number and the normalizer is frozen
+        on training statistics.
+        """
+        return self.campaign.base_config.with_updates(
+            v0=constants.PAPER_VALIDATION_V0,
+            vth=constants.PAPER_VALIDATION_VTH,
+            seed=seed,
+        )
+
+    def coldbeam_config(self, seed: int = 9002) -> SimulationConfig:
+        """Fig. 6 cold-beam run derived from the campaign's base config."""
+        return self.campaign.base_config.with_updates(
+            v0=constants.PAPER_COLDBEAM_V0,
+            vth=constants.PAPER_COLDBEAM_VTH,
+            seed=seed,
+        )
+
+
+def paper_preset() -> ExperimentPreset:
+    """The paper's exact configuration (expensive on CPU)."""
+    return ExperimentPreset(
+        name="paper",
+        campaign=paper_campaign(),
+        mlp_hidden=1024,
+        mlp_epochs=150,
+        cnn_channels=(16, 32),
+        cnn_hidden=1024,
+        cnn_epochs=100,
+    )
+
+
+def medium_preset() -> ExperimentPreset:
+    """Benchmark-scale preset: same pipeline, minutes of CPU."""
+    return ExperimentPreset(
+        name="medium",
+        campaign=medium_campaign(),
+        mlp_hidden=512,
+        mlp_epochs=120,
+        cnn_channels=(8, 16),
+        cnn_hidden=256,
+        cnn_epochs=15,
+        learning_rate=2e-4,
+        n_val=250,
+        n_test=250,
+        test2_v0=(0.2, 0.12),
+        test2_vth=(0.0025,),
+        n_test2=400,
+    )
+
+
+def fast_preset() -> ExperimentPreset:
+    """Test-scale preset: seconds of CPU."""
+    return ExperimentPreset(
+        name="fast",
+        campaign=fast_campaign(),
+        mlp_hidden=64,
+        mlp_epochs=8,
+        cnn_channels=(2, 4),
+        cnn_hidden=32,
+        cnn_epochs=3,
+        learning_rate=1e-3,
+        n_val=20,
+        n_test=20,
+        test2_v0=(0.2,),
+        test2_vth=(0.0025,),
+        n_test2=60,
+    )
+
+
+@dataclass
+class TrainedSolvers:
+    """Everything downstream experiments need, post-training."""
+
+    preset: ExperimentPreset
+    mlp_solver: DLFieldSolver
+    cnn_solver: "DLFieldSolver | None"
+    train: FieldDataset
+    val: FieldDataset
+    test: FieldDataset
+    test2: FieldDataset
+    mlp_history: "TrainingHistory | None" = None
+    cnn_history: "TrainingHistory | None" = None
+
+
+def _build_mlp_for(preset: ExperimentPreset, rng: "int | None" = None) -> Sequential:
+    grid = preset.campaign.ps_grid
+    return build_mlp(
+        input_size=grid.size,
+        output_size=preset.campaign.base_config.n_cells,
+        hidden_size=preset.mlp_hidden,
+        rng=preset.train_seed if rng is None else rng,
+    )
+
+
+def _build_cnn_for(preset: ExperimentPreset, rng: "int | None" = None) -> Sequential:
+    grid = preset.campaign.ps_grid
+    return build_cnn(
+        input_shape=(1, grid.n_v, grid.n_x),
+        output_size=preset.campaign.base_config.n_cells,
+        channels=preset.cnn_channels,
+        hidden_size=preset.cnn_hidden,
+        rng=preset.train_seed + 1 if rng is None else rng,
+    )
+
+
+def _train_network(
+    model: Sequential,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_val: np.ndarray,
+    y_val: np.ndarray,
+    epochs: int,
+    preset: ExperimentPreset,
+    verbose: bool,
+) -> TrainingHistory:
+    trainer = Trainer(model, MSELoss(), Adam(lr=preset.learning_rate))
+    return trainer.fit(
+        x_train,
+        y_train,
+        epochs=epochs,
+        batch_size=preset.batch_size,
+        validation=(x_val, y_val),
+        rng=preset.train_seed,
+        verbose=verbose,
+    )
+
+
+def train_solvers(
+    preset: ExperimentPreset,
+    cache_dir: "str | Path | None" = DEFAULT_CACHE,
+    include_cnn: bool = True,
+    n_workers: int = 1,
+    verbose: bool = False,
+) -> TrainedSolvers:
+    """Run (or load from cache) the full Sec. IV pipeline for ``preset``.
+
+    Caching: datasets and trained solver bundles are stored under
+    ``cache_dir / preset.name``; a subsequent call with the same preset
+    name loads everything instead of recomputing.  Pass
+    ``cache_dir=None`` to force a fresh in-memory run.
+    """
+    cache = None if cache_dir is None else Path(cache_dir) / preset.name
+    if cache is not None and (cache / "complete.json").exists():
+        return _load_cached(preset, cache, include_cnn)
+
+    # 1. Data generation (Sec. IV-A1).
+    full = run_campaign(preset.campaign, n_workers=n_workers)
+    test2 = run_test_set_ii(
+        preset.campaign, preset.test2_v0, preset.test2_vth, preset.n_test2
+    )
+    train, val, test = full.split(preset.n_val, preset.n_test, rng=preset.train_seed)
+
+    # 2. Input normalization (Eq. 5), fitted on the training inputs only.
+    normalizer = MinMaxNormalizer().fit(train.inputs)
+    xt_flat = normalizer.transform(train.flat_inputs())
+    xv_flat = normalizer.transform(val.flat_inputs())
+
+    # 3. Train the MLP (Sec. IV-A: 3x1024 ReLU + 64 linear).
+    mlp = _build_mlp_for(preset)
+    mlp_history = _train_network(
+        mlp, xt_flat, train.targets, xv_flat, val.targets, preset.mlp_epochs, preset, verbose
+    )
+    mlp_solver = DLFieldSolver(
+        mlp, preset.campaign.ps_grid, normalizer, input_kind="flat",
+        binning=preset.campaign.binning,
+    )
+
+    # 4. Train the CNN (2 x [conv, conv, maxpool] + MLP head).
+    cnn_solver = None
+    cnn_history = None
+    if include_cnn:
+        xt_img = normalizer.transform(train.image_inputs())
+        xv_img = normalizer.transform(val.image_inputs())
+        cnn = _build_cnn_for(preset)
+        cnn_history = _train_network(
+            cnn, xt_img, train.targets, xv_img, val.targets, preset.cnn_epochs, preset, verbose
+        )
+        cnn_solver = DLFieldSolver(
+            cnn, preset.campaign.ps_grid, normalizer, input_kind="image",
+            binning=preset.campaign.binning,
+        )
+
+    result = TrainedSolvers(
+        preset=preset,
+        mlp_solver=mlp_solver,
+        cnn_solver=cnn_solver,
+        train=train,
+        val=val,
+        test=test,
+        test2=test2,
+        mlp_history=mlp_history,
+        cnn_history=cnn_history,
+    )
+    if cache is not None:
+        _save_cached(result, cache)
+    return result
+
+
+def _save_cached(result: TrainedSolvers, cache: Path) -> None:
+    cache.mkdir(parents=True, exist_ok=True)
+    result.train.save(cache / "train.npz")
+    result.val.save(cache / "val.npz")
+    result.test.save(cache / "test.npz")
+    result.test2.save(cache / "test2.npz")
+    result.mlp_solver.save(cache / "mlp")
+    meta = {"include_cnn": result.cnn_solver is not None}
+    if result.cnn_solver is not None:
+        result.cnn_solver.save(cache / "cnn")
+    (cache / "complete.json").write_text(json.dumps(meta))
+
+
+def _load_cached(preset: ExperimentPreset, cache: Path, include_cnn: bool) -> TrainedSolvers:
+    meta = json.loads((cache / "complete.json").read_text())
+    train = FieldDataset.load(cache / "train.npz")
+    val = FieldDataset.load(cache / "val.npz")
+    test = FieldDataset.load(cache / "test.npz")
+    test2 = FieldDataset.load(cache / "test2.npz")
+    mlp_solver = DLFieldSolver.load(cache / "mlp", _build_mlp_for(preset))
+    cnn_solver = None
+    if include_cnn and meta.get("include_cnn"):
+        cnn_solver = DLFieldSolver.load(cache / "cnn", _build_cnn_for(preset))
+    return TrainedSolvers(
+        preset=preset,
+        mlp_solver=mlp_solver,
+        cnn_solver=cnn_solver,
+        train=train,
+        val=val,
+        test=test,
+        test2=test2,
+    )

@@ -1,0 +1,60 @@
+"""Shared run helpers: execute a (traditional, DL) simulation pair."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.dlpic.simulation import DLPIC
+from repro.dlpic.solver import DLFieldSolver
+from repro.pic.diagnostics import History
+from repro.pic.simulation import TraditionalPIC
+
+
+@dataclass
+class MethodRun:
+    """Diagnostics of one finished simulation."""
+
+    label: str
+    config: SimulationConfig
+    series: dict[str, np.ndarray]
+    final_x: np.ndarray
+    final_v: np.ndarray
+    energy_variation: float
+    momentum_drift: float
+
+
+def _execute(sim, label: str, n_steps: "int | None") -> MethodRun:
+    history: History = sim.run(n_steps)
+    return MethodRun(
+        label=label,
+        config=sim.config,
+        series=history.as_arrays(),
+        final_x=sim.particles.x.copy(),
+        final_v=sim.v_at_integer_time.copy(),
+        energy_variation=history.energy_variation(),
+        momentum_drift=history.momentum_drift(),
+    )
+
+
+def run_traditional(config: SimulationConfig, n_steps: "int | None" = None) -> MethodRun:
+    """Run the traditional PIC method for ``config``."""
+    return _execute(TraditionalPIC(config), "Traditional PIC", n_steps)
+
+
+def run_dl(
+    config: SimulationConfig, solver: DLFieldSolver, n_steps: "int | None" = None
+) -> MethodRun:
+    """Run the DL-based PIC method with a trained field solver."""
+    return _execute(DLPIC(config, solver), "DL-based PIC", n_steps)
+
+
+def run_pair(
+    config: SimulationConfig,
+    solver: DLFieldSolver,
+    n_steps: "int | None" = None,
+) -> tuple[MethodRun, MethodRun]:
+    """Run both methods from identically loaded particles."""
+    return run_traditional(config, n_steps), run_dl(config, solver, n_steps)

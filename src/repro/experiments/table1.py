@@ -1,0 +1,75 @@
+"""Table I: MAE and max error of the MLP and CNN on test sets I & II.
+
+Test Set I is the random 1,000-sample split of the training sweep;
+Test Set II contains samples from simulations whose ``(v0, vth)`` were
+never seen during training.  Paper values for reference::
+
+    Metric                Test Set   MLP       CNN
+    Mean Absolute Error   I          0.0019    0.0020
+    Max Error             I          0.06899   0.0463
+    Mean Absolute Error   II         0.0015    0.0032
+    Max Error             II         0.0286    0.073
+
+The headline *shape*: MLP and CNN are comparable on set I, and the MLP
+generalizes to unseen parameters at least as well as on set I while the
+CNN degrades (its set-II MAE/max error grow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datagen.dataset import FieldDataset
+from repro.dlpic.solver import DLFieldSolver
+from repro.experiments.pipeline import TrainedSolvers
+from repro.nn.metrics import max_absolute_error, mean_absolute_error
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One (network, test-set) evaluation."""
+
+    network: str
+    test_set: str
+    mae: float
+    max_error: float
+
+
+def _evaluate(solver: DLFieldSolver, dataset: FieldDataset) -> tuple[float, float]:
+    """Predict every histogram in ``dataset`` and compare to the targets."""
+    raw = dataset.flat_inputs() if solver.input_kind == "flat" else dataset.image_inputs()
+    x = solver.normalizer.transform(raw)
+    pred = solver.model.predict(x)
+    return mean_absolute_error(pred, dataset.targets), max_absolute_error(pred, dataset.targets)
+
+
+def run_table1(solvers: TrainedSolvers) -> list[Table1Row]:
+    """Evaluate every trained network on both test sets."""
+    rows: list[Table1Row] = []
+    networks: list[tuple[str, DLFieldSolver]] = [("MLP", solvers.mlp_solver)]
+    if solvers.cnn_solver is not None:
+        networks.append(("CNN", solvers.cnn_solver))
+    for set_name, dataset in (("I", solvers.test), ("II", solvers.test2)):
+        for net_name, solver in networks:
+            mae, max_err = _evaluate(solver, dataset)
+            rows.append(Table1Row(network=net_name, test_set=set_name, mae=mae, max_error=max_err))
+    return rows
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Render rows in the paper's Table I layout."""
+    lines = [
+        "TABLE I — MAE AND MAXIMUM ERROR WITH EACH NETWORK",
+        f"{'Metric':<22}{'Test Set':<10}{'MLP':>12}{'CNN':>12}",
+    ]
+    by_key = {(r.network, r.test_set): r for r in rows}
+    for set_name in ("I", "II"):
+        for metric, attr in (("Mean Absolute Error", "mae"), ("Max Error", "max_error")):
+            mlp = by_key.get(("MLP", set_name))
+            cnn = by_key.get(("CNN", set_name))
+            mlp_val = f"{getattr(mlp, attr):.5f}" if mlp else "-"
+            cnn_val = f"{getattr(cnn, attr):.5f}" if cnn else "-"
+            lines.append(f"{metric:<22}{set_name:<10}{mlp_val:>12}{cnn_val:>12}")
+    return "\n".join(lines)

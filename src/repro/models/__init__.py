@@ -1,0 +1,5 @@
+"""The paper's two network architectures (Sec. IV-A)."""
+
+from repro.models.architectures import build_cnn, build_mlp
+
+__all__ = ["build_mlp", "build_cnn"]

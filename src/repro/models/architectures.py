@@ -1,0 +1,89 @@
+"""Factory functions for the paper's MLP and CNN (Sec. IV-A).
+
+* **MLP** — three fully connected hidden layers of 1,024 ReLU neurons
+  and a 64-neuron linear output ("because we want to learn a
+  multi-variate regression function of the electric field on 64
+  cells").
+* **CNN** — two blocks of [Conv, Conv, MaxPool] followed by the same
+  three 1,024-neuron ReLU layers and the 64-neuron linear output.  The
+  paper does not state channel counts or kernel sizes; we use 3x3
+  kernels with 16 and 32 channels (the standard small-image choice)
+  and expose them as parameters.
+
+Both factories accept reduced widths/resolutions so the test suite and
+the fast benchmark preset can train cheap variants of the *same*
+architecture family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.nn.network import Sequential
+from repro.utils.rng import as_generator
+
+
+def build_mlp(
+    input_size: int = 64 * 64,
+    output_size: int = 64,
+    hidden_size: int = 1024,
+    n_hidden: int = 3,
+    rng: "int | np.random.Generator | None" = 0,
+) -> Sequential:
+    """The paper's MLP: ``n_hidden`` ReLU layers + linear output."""
+    if n_hidden < 1:
+        raise ValueError(f"n_hidden must be >= 1, got {n_hidden}")
+    rng = as_generator(rng)
+    layers: list = []
+    size = input_size
+    for _ in range(n_hidden):
+        layers.append(Dense(size, hidden_size, rng=rng))
+        layers.append(ReLU())
+        size = hidden_size
+    layers.append(Dense(size, output_size, rng=rng))  # linear activation
+    return Sequential(layers)
+
+
+def build_cnn(
+    input_shape: tuple[int, int, int] = (1, 64, 64),
+    output_size: int = 64,
+    channels: tuple[int, int] = (16, 32),
+    kernel_size: int = 3,
+    hidden_size: int = 1024,
+    n_hidden: int = 3,
+    rng: "int | np.random.Generator | None" = 0,
+) -> Sequential:
+    """The paper's CNN: 2 x [Conv, Conv, MaxPool] + MLP head.
+
+    ``input_shape`` is channels-first ``(C, H, W)``; ``H`` and ``W``
+    must be divisible by 4 (two 2x2 pools).
+    """
+    c, h, w = input_shape
+    if h % 4 or w % 4:
+        raise ValueError(f"spatial size {(h, w)} must be divisible by 4 (two maxpools)")
+    if n_hidden < 1:
+        raise ValueError(f"n_hidden must be >= 1, got {n_hidden}")
+    rng = as_generator(rng)
+    c1, c2 = channels
+    layers: list = [
+        Conv2D(c, c1, kernel_size, padding="same", rng=rng),
+        ReLU(),
+        Conv2D(c1, c1, kernel_size, padding="same", rng=rng),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(c1, c2, kernel_size, padding="same", rng=rng),
+        ReLU(),
+        Conv2D(c2, c2, kernel_size, padding="same", rng=rng),
+        ReLU(),
+        MaxPool2D(2),
+        Flatten(),
+    ]
+    flat = c2 * (h // 4) * (w // 4)
+    size = flat
+    for _ in range(n_hidden):
+        layers.append(Dense(size, hidden_size, rng=rng))
+        layers.append(ReLU())
+        size = hidden_size
+    layers.append(Dense(size, output_size, rng=rng))  # linear activation
+    return Sequential(layers)

@@ -1,0 +1,103 @@
+"""Mini-batch iteration and dataset splitting.
+
+The paper shuffles its 40,000 samples and splits 38,000/1,000/1,000
+into train/validation/test (Sec. IV-A1); ``train_val_test_split``
+implements exactly that protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+
+class DataLoader:
+    """Iterates ``(X, y)`` mini-batches, optionally reshuffling each epoch.
+
+    ``X`` and ``y`` must share their first (sample) dimension.  When
+    ``shuffle=True`` a new permutation is drawn from ``rng`` at every
+    iteration, so epochs see different batch compositions.
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        batch_size: int = 64,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> None:
+        x = np.asarray(x)
+        y = np.asarray(y)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(f"X has {x.shape[0]} samples but y has {y.shape[0]}")
+        if x.shape[0] == 0:
+            raise ValueError("empty dataset")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.x = x
+        self.y = y
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = as_generator(rng)
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples in the underlying arrays."""
+        return self.x.shape[0]
+
+    def __len__(self) -> int:
+        """Number of batches per epoch."""
+        if self.drop_last:
+            return self.n_samples // self.batch_size
+        return (self.n_samples + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        order = (
+            self.rng.permutation(self.n_samples)
+            if self.shuffle
+            else np.arange(self.n_samples)
+        )
+        stop = len(self) * self.batch_size if self.drop_last else self.n_samples
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and idx.shape[0] < self.batch_size:
+                break
+            yield self.x[idx], self.y[idx]
+
+
+def train_val_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    n_val: int,
+    n_test: int,
+    rng: "int | np.random.Generator | None" = None,
+) -> tuple[tuple[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
+    """Shuffle jointly, then split off ``n_val`` and ``n_test`` samples.
+
+    Returns ``(train, val, test)`` tuples of ``(X, y)``; the train split
+    receives everything left over (38,000 in the paper's setup).
+    """
+    x = np.asarray(x)
+    y = np.asarray(y)
+    n = x.shape[0]
+    if y.shape[0] != n:
+        raise ValueError(f"X has {n} samples but y has {y.shape[0]}")
+    if n_val < 0 or n_test < 0:
+        raise ValueError("split sizes must be non-negative")
+    if n_val + n_test >= n:
+        raise ValueError(f"cannot carve {n_val}+{n_test} samples out of {n}")
+    order = as_generator(rng).permutation(n)
+    test_idx = order[:n_test]
+    val_idx = order[n_test : n_test + n_val]
+    train_idx = order[n_test + n_val :]
+    return (
+        (x[train_idx], y[train_idx]),
+        (x[val_idx], y[val_idx]),
+        (x[test_idx], y[test_idx]),
+    )

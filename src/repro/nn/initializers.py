@@ -1,0 +1,63 @@
+"""Weight initializers.
+
+Keras defaults (what the paper's code would have used) are Glorot
+uniform for both Dense and Conv2D kernels; He normal is provided as the
+usual alternative for ReLU stacks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Fan-in/fan-out for dense ``(in, out)`` and conv ``(O, C, kh, kw)``."""
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def glorot_uniform(
+    shape: tuple[int, ...], rng: "int | np.random.Generator | None" = None
+) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-limit, limit), limit = sqrt(6/(fi+fo))."""
+    rng = as_generator(rng)
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(
+    shape: tuple[int, ...], rng: "int | np.random.Generator | None" = None
+) -> np.ndarray:
+    """He normal: N(0, sqrt(2/fan_in)), suited to ReLU activations."""
+    rng = as_generator(rng)
+    fan_in, _ = _fan_in_out(shape)
+    return rng.normal(0.0, math.sqrt(2.0 / fan_in), size=shape)
+
+
+def zeros_init(shape: tuple[int, ...], rng: "int | np.random.Generator | None" = None) -> np.ndarray:
+    """All-zeros (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+INITIALIZERS = {
+    "glorot_uniform": glorot_uniform,
+    "he_normal": he_normal,
+    "zeros": zeros_init,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError:
+        raise ValueError(f"unknown initializer {name!r}; expected one of {sorted(INITIALIZERS)}")

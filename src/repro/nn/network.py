@@ -1,0 +1,130 @@
+"""``Sequential`` model container with npz checkpointing."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+
+class Sequential:
+    """A plain feed-forward stack of :class:`Layer` objects.
+
+    >>> model = Sequential([Dense(4, 8, rng=0), ReLU(), Dense(8, 2, rng=1)])
+    >>> y = model.forward(x)                         # doctest: +SKIP
+    >>> model.backward(grad_y)                       # doctest: +SKIP
+    """
+
+    def __init__(self, layers: "Sequence[Layer] | None" = None) -> None:
+        self.layers: list[Layer] = list(layers) if layers is not None else []
+        for layer in self.layers:
+            self._check_layer(layer)
+
+    @staticmethod
+    def _check_layer(layer: Layer) -> None:
+        if not isinstance(layer, Layer):
+            raise TypeError(f"expected a Layer, got {type(layer).__name__}")
+
+    def add(self, layer: Layer) -> "Sequential":
+        """Append a layer; returns self for chaining."""
+        self._check_layer(layer)
+        self.layers.append(layer)
+        return self
+
+    # -- forward / backward --------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the full stack."""
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the stack (reverse order)."""
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Inference in evaluation mode, batched to bound memory."""
+        x = np.asarray(x, dtype=np.float64)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if x.shape[0] <= batch_size:
+            return self.forward(x, training=False)
+        chunks = [
+            self.forward(x[i : i + batch_size], training=False)
+            for i in range(0, x.shape[0], batch_size)
+        ]
+        return np.concatenate(chunks, axis=0)
+
+    # -- parameters ------------------------------------------------------
+    def param_grad_pairs(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Stable-ordered (parameter, gradient) array pairs for optimizers."""
+        pairs: list[tuple[np.ndarray, np.ndarray]] = []
+        for layer in self.layers:
+            for name in sorted(layer.params):
+                pairs.append((layer.params[name], layer.grads[name]))
+        return pairs
+
+    def zero_grad(self) -> None:
+        """Reset every accumulated gradient to zero."""
+        for layer in self.layers:
+            layer.zero_grad()
+
+    @property
+    def n_parameters(self) -> int:
+        """Total trainable scalar count."""
+        return sum(layer.n_parameters for layer in self.layers)
+
+    def summary(self) -> str:
+        """Human-readable architecture listing."""
+        lines = [f"Sequential with {len(self.layers)} layers, {self.n_parameters:,} parameters"]
+        for i, layer in enumerate(self.layers):
+            lines.append(f"  [{i:2d}] {layer!r:60s} params={layer.n_parameters:,}")
+        return "\n".join(lines)
+
+    # -- persistence -----------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat mapping ``"{layer_index}.{param_name}" -> array``."""
+        state: dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            for name, value in layer.params.items():
+                state[f"{i}.{name}"] = value
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Copy arrays into the existing parameters (shape-checked)."""
+        expected = self.state_dict()
+        missing = sorted(set(expected) - set(state))
+        extra = sorted(set(state) - set(expected))
+        if missing or extra:
+            raise ValueError(f"state mismatch: missing={missing}, unexpected={extra}")
+        for key, current in expected.items():
+            new = np.asarray(state[key], dtype=np.float64)
+            if new.shape != current.shape:
+                raise ValueError(f"shape mismatch for {key}: {new.shape} vs {current.shape}")
+            current[...] = new
+
+    def save(self, path: "str | Path") -> Path:
+        """Serialize parameters (and a layer fingerprint) to ``.npz``."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        arch = json.dumps([repr(layer) for layer in self.layers])
+        arrays = {k: v for k, v in self.state_dict().items()}
+        arrays["__architecture__"] = np.frombuffer(arch.encode("utf-8"), dtype=np.uint8)
+        np.savez_compressed(path, **arrays)
+        return path
+
+    def load(self, path: "str | Path") -> "Sequential":
+        """Load parameters saved by :meth:`save` into this model."""
+        with np.load(Path(path), allow_pickle=False) as archive:
+            state = {k: archive[k] for k in archive.files if k != "__architecture__"}
+        self.load_state_dict(state)
+        return self

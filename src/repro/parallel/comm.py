@@ -1,0 +1,130 @@
+"""In-process communicator with byte-counting collectives.
+
+``SimulatedComm`` executes MPI-style collectives over rank-local arrays
+held in a single process (ranks are slots in a list).  Semantics follow
+mpi4py's upper-case buffer API closely enough that the code reads like
+an MPI program, while ``CommStats`` tracks how many payload bytes each
+collective would have moved on a real network — the quantity the
+Sec. VII comparison is about.
+
+Byte accounting conventions (per call):
+
+* ``allreduce(arrays)`` — every rank contributes and receives one
+  buffer: ``2 * (size - 1)/size``-style factors vary by algorithm, so
+  we charge the canonical recursive-doubling cost of one buffer
+  traversal per rank: ``nbytes * size`` sent in total.
+* ``allgather(arrays)`` — each rank sends its chunk to all others:
+  total ``sum(nbytes_i) * (size - 1)``.
+* ``reduce / gather`` to a root — total ``sum(nbytes_i of non-root)``.
+* ``bcast`` from a root — ``nbytes * (size - 1)``.
+* point-to-point ``sendrecv`` — the message size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class CommStats:
+    """Accumulated communication-volume accounting."""
+
+    bytes_by_op: dict[str, int] = field(default_factory=dict)
+    calls_by_op: dict[str, int] = field(default_factory=dict)
+
+    def charge(self, op: str, nbytes: int) -> None:
+        """Add ``nbytes`` of traffic attributed to collective ``op``."""
+        if nbytes < 0:
+            raise ValueError(f"negative byte count: {nbytes}")
+        self.bytes_by_op[op] = self.bytes_by_op.get(op, 0) + int(nbytes)
+        self.calls_by_op[op] = self.calls_by_op.get(op, 0) + 1
+
+    @property
+    def total_bytes(self) -> int:
+        """Total payload bytes across all operations."""
+        return sum(self.bytes_by_op.values())
+
+    @property
+    def total_calls(self) -> int:
+        """Total number of collective invocations."""
+        return sum(self.calls_by_op.values())
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.bytes_by_op.clear()
+        self.calls_by_op.clear()
+
+
+class SimulatedComm:
+    """A fixed-size communicator over in-process ranks."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"communicator size must be >= 1, got {size}")
+        self.size = size
+        self.stats = CommStats()
+
+    def _check(self, arrays: "list[np.ndarray]") -> None:
+        if len(arrays) != self.size:
+            raise ValueError(f"expected {self.size} rank buffers, got {len(arrays)}")
+
+    def allreduce(self, arrays: "list[np.ndarray]") -> "list[np.ndarray]":
+        """Sum-allreduce: every rank receives the elementwise sum."""
+        self._check(arrays)
+        total = np.sum(np.stack([np.asarray(a) for a in arrays]), axis=0)
+        if self.size > 1:
+            self.stats.charge("allreduce", total.nbytes * self.size)
+        return [total.copy() for _ in range(self.size)]
+
+    def allgather(self, arrays: "list[np.ndarray]") -> "list[np.ndarray]":
+        """Concatenate every rank's chunk on every rank."""
+        self._check(arrays)
+        gathered = np.concatenate([np.asarray(a) for a in arrays])
+        if self.size > 1:
+            sent = sum(np.asarray(a).nbytes for a in arrays)
+            self.stats.charge("allgather", sent * (self.size - 1))
+        return [gathered.copy() for _ in range(self.size)]
+
+    def reduce(self, arrays: "list[np.ndarray]", root: int = 0) -> np.ndarray:
+        """Sum-reduce to ``root``; only the root's buffer is returned."""
+        self._check(arrays)
+        self._check_root(root)
+        total = np.sum(np.stack([np.asarray(a) for a in arrays]), axis=0)
+        if self.size > 1:
+            non_root = sum(
+                np.asarray(a).nbytes for r, a in enumerate(arrays) if r != root
+            )
+            self.stats.charge("reduce", non_root)
+        return total
+
+    def gather(self, arrays: "list[np.ndarray]", root: int = 0) -> "list[np.ndarray]":
+        """Gather every rank's chunk on ``root`` (returned as a list)."""
+        self._check(arrays)
+        self._check_root(root)
+        if self.size > 1:
+            non_root = sum(
+                np.asarray(a).nbytes for r, a in enumerate(arrays) if r != root
+            )
+            self.stats.charge("gather", non_root)
+        return [np.array(a, copy=True) for a in arrays]
+
+    def bcast(self, array: np.ndarray, root: int = 0) -> "list[np.ndarray]":
+        """Broadcast the root's buffer to every rank."""
+        self._check_root(root)
+        array = np.asarray(array)
+        if self.size > 1:
+            self.stats.charge("bcast", array.nbytes * (self.size - 1))
+        return [array.copy() for _ in range(self.size)]
+
+    def sendrecv(self, array: np.ndarray) -> np.ndarray:
+        """Point-to-point transfer of one message (e.g. halo or particles)."""
+        array = np.asarray(array)
+        if self.size > 1:
+            self.stats.charge("sendrecv", array.nbytes)
+        return array.copy()
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.size:
+            raise ValueError(f"root {root} out of range for size {self.size}")

@@ -1,0 +1,80 @@
+"""1D spatial domain decomposition of the periodic PIC grid.
+
+Cells are split into contiguous, near-equal slabs; each rank owns the
+particles whose positions fall inside its slab.  Particle migration
+after the position push and the rank-local slice of any global grid
+field are the two primitives the distributed PIC cycle needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pic.grid import Grid1D
+
+
+@dataclass(frozen=True)
+class DomainDecomposition1D:
+    """Contiguous slab decomposition of ``grid`` over ``n_ranks`` ranks."""
+
+    grid: Grid1D
+    n_ranks: int
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {self.n_ranks}")
+        if self.n_ranks > self.grid.n_cells:
+            raise ValueError(
+                f"cannot split {self.grid.n_cells} cells over {self.n_ranks} ranks"
+            )
+
+    def cell_bounds(self, rank: int) -> tuple[int, int]:
+        """Half-open cell index range ``[start, stop)`` owned by ``rank``."""
+        self._check_rank(rank)
+        n, r = divmod(self.grid.n_cells, self.n_ranks)
+        start = rank * n + min(rank, r)
+        stop = start + n + (1 if rank < r else 0)
+        return start, stop
+
+    def x_bounds(self, rank: int) -> tuple[float, float]:
+        """Spatial extent ``[x_start, x_stop)`` owned by ``rank``."""
+        start, stop = self.cell_bounds(rank)
+        return start * self.grid.dx, stop * self.grid.dx
+
+    def n_local_cells(self, rank: int) -> int:
+        """Number of cells owned by ``rank``."""
+        start, stop = self.cell_bounds(rank)
+        return stop - start
+
+    def owner_of(self, x: np.ndarray) -> np.ndarray:
+        """Owning rank of each (wrapped) position."""
+        x = self.grid.wrap(np.asarray(x, dtype=np.float64))
+        cells = np.minimum(
+            (x / self.grid.dx).astype(np.int64), self.grid.n_cells - 1
+        )
+        # Invert the slab mapping: rank boundaries in cell space.
+        bounds = np.array([self.cell_bounds(r)[0] for r in range(self.n_ranks)] + [self.grid.n_cells])
+        return np.searchsorted(bounds, cells, side="right") - 1
+
+    def partition(self, x: np.ndarray, *arrays: np.ndarray) -> "list[tuple[np.ndarray, ...]]":
+        """Split positions (and parallel arrays) by owning rank.
+
+        Returns one tuple ``(x_rank, *arrays_rank)`` per rank.
+        """
+        owners = self.owner_of(x)
+        out = []
+        for rank in range(self.n_ranks):
+            mask = owners == rank
+            out.append(tuple(np.asarray(a)[mask] for a in (x, *arrays)))
+        return out
+
+    def local_slice(self, rank: int) -> slice:
+        """Slice selecting this rank's cells from a global grid array."""
+        start, stop = self.cell_bounds(rank)
+        return slice(start, stop)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} out of range for {self.n_ranks} ranks")

@@ -1,0 +1,6 @@
+"""Phase-space binning and normalization (grey boxes of the paper's Fig. 2)."""
+
+from repro.phasespace.binning import PhaseSpaceGrid, bin_phase_space
+from repro.phasespace.normalization import MinMaxNormalizer
+
+__all__ = ["PhaseSpaceGrid", "bin_phase_space", "MinMaxNormalizer"]

@@ -1,0 +1,139 @@
+"""Binning of the electron phase space onto a 2D grid.
+
+Section III of the paper: "We form a phase space grid by discretizing
+phase space with a two-dimensional grid and counting how many particles
+belong to a cell of the phase space grid."  The paper uses NGP binning
+and notes (Sec. VII) that higher-order interpolation for the binning is
+an expected improvement — so CIC binning is implemented as well.
+
+Conventions
+-----------
+The histogram has shape ``(n_v, n_x)``: rows index velocity (the
+vertical axis of the paper's phase-space images), columns index
+position.  Position is periodic on ``[0, L)``; velocity is clipped to
+``[v_min, v_max]`` so the total histogram mass always equals the number
+of particles (an invariant the tests rely on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+
+
+@dataclass(frozen=True)
+class PhaseSpaceGrid:
+    """Discretization of the ``(x, v)`` phase-space rectangle.
+
+    Attributes
+    ----------
+    n_x, n_v:
+        Number of bins along position and velocity.
+    box_length:
+        Periodic spatial extent ``L``.
+    v_min, v_max:
+        Velocity window; particles outside are clipped to the edge
+        bins.  The paper's plots use ``[-0.4, 0.4]``-ish windows; the
+        default ``[-0.5, 0.5]`` covers every training configuration
+        (``v0 <= 0.3`` plus thermal tails) and the Fig. 6 beams.
+    """
+
+    n_x: int = 64
+    n_v: int = 64
+    box_length: float = constants.TWO_STREAM_BOX_LENGTH
+    v_min: float = -0.5
+    v_max: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_x < 1 or self.n_v < 1:
+            raise ValueError(f"bin counts must be positive, got ({self.n_x}, {self.n_v})")
+        if self.v_max <= self.v_min:
+            raise ValueError(f"empty velocity window [{self.v_min}, {self.v_max}]")
+        if self.box_length <= 0:
+            raise ValueError(f"box_length must be positive, got {self.box_length}")
+
+    @property
+    def dx(self) -> float:
+        """Spatial bin width."""
+        return self.box_length / self.n_x
+
+    @property
+    def dv(self) -> float:
+        """Velocity bin width."""
+        return (self.v_max - self.v_min) / self.n_v
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Histogram shape ``(n_v, n_x)``."""
+        return (self.n_v, self.n_x)
+
+    @property
+    def size(self) -> int:
+        """Flattened input size for the MLP."""
+        return self.n_v * self.n_x
+
+    def x_edges(self) -> np.ndarray:
+        """Spatial bin edges, length ``n_x + 1``."""
+        return np.linspace(0.0, self.box_length, self.n_x + 1)
+
+    def v_edges(self) -> np.ndarray:
+        """Velocity bin edges, length ``n_v + 1``."""
+        return np.linspace(self.v_min, self.v_max, self.n_v + 1)
+
+
+def _x_bins(x: np.ndarray, grid: PhaseSpaceGrid) -> np.ndarray:
+    """NGP spatial bin index (cell containment), periodic."""
+    return np.floor(np.mod(x, grid.box_length) / grid.dx).astype(np.int64) % grid.n_x
+
+
+def _v_bins(v: np.ndarray, grid: PhaseSpaceGrid) -> np.ndarray:
+    """NGP velocity bin index, clipped to the window."""
+    idx = np.floor((v - grid.v_min) / grid.dv).astype(np.int64)
+    return np.clip(idx, 0, grid.n_v - 1)
+
+
+def bin_phase_space(
+    x: np.ndarray,
+    v: np.ndarray,
+    grid: PhaseSpaceGrid,
+    order: str = "ngp",
+    dtype: "np.dtype | type" = np.float64,
+) -> np.ndarray:
+    """Count particles per phase-space cell.
+
+    ``order="ngp"`` reproduces the paper's counting histogram;
+    ``order="cic"`` spreads each particle bilinearly over the four
+    neighbouring cells (periodic in x, clamped in v), which reduces the
+    binning noise the paper identifies as a limitation.  Both conserve
+    total mass exactly: ``result.sum() == len(x)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    if x.shape != v.shape or x.ndim != 1:
+        raise ValueError(f"x and v must be 1D arrays of equal length, got {x.shape}, {v.shape}")
+    hist = np.zeros(grid.shape, dtype=np.float64)
+    if order == "ngp":
+        np.add.at(hist, (_v_bins(v, grid), _x_bins(x, grid)), 1.0)
+    elif order == "cic":
+        # Bilinear weights relative to bin centers.
+        sx = np.mod(x, grid.box_length) / grid.dx - 0.5
+        jx = np.floor(sx).astype(np.int64)
+        fx = sx - jx
+        jx0 = jx % grid.n_x
+        jx1 = (jx + 1) % grid.n_x
+        sv = (v - grid.v_min) / grid.dv - 0.5
+        jv = np.floor(sv).astype(np.int64)
+        fv = sv - jv
+        # Clamp in velocity: out-of-window weight collapses onto edge bins.
+        jv0 = np.clip(jv, 0, grid.n_v - 1)
+        jv1 = np.clip(jv + 1, 0, grid.n_v - 1)
+        np.add.at(hist, (jv0, jx0), (1.0 - fv) * (1.0 - fx))
+        np.add.at(hist, (jv0, jx1), (1.0 - fv) * fx)
+        np.add.at(hist, (jv1, jx0), fv * (1.0 - fx))
+        np.add.at(hist, (jv1, jx1), fv * fx)
+    else:
+        raise ValueError(f"unknown binning order {order!r}; expected 'ngp' or 'cic'")
+    return hist.astype(dtype, copy=False)

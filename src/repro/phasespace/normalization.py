@@ -1,0 +1,73 @@
+"""Min-max input normalization (Eq. 5 of the paper).
+
+"All their values were transformed from their original range to [0, 1]
+using the formula y = (x - min) / (max - min), where min and max are
+the minimum and maximum values in the data set."
+
+The normalizer is *fit on the training data set* and then frozen; at
+PIC runtime the same (min, max) pair is applied to every histogram the
+DL solver sees, exactly as a deployed network would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class MinMaxNormalizer:
+    """Global (scalar) min-max scaler to ``[0, 1]``.
+
+    ``fit`` extracts the dataset-wide minimum and maximum; ``transform``
+    is the paper's Eq. 5.  Values outside the fitted range (possible at
+    inference time) map outside ``[0, 1]`` unless ``clip=True``.
+    """
+
+    minimum: float = 0.0
+    maximum: float = 1.0
+    fitted: bool = False
+
+    def fit(self, data: np.ndarray) -> "MinMaxNormalizer":
+        """Record the global min/max of ``data`` (any shape)."""
+        data = np.asarray(data)
+        if data.size == 0:
+            raise ValueError("cannot fit a normalizer on empty data")
+        self.minimum = float(np.min(data))
+        self.maximum = float(np.max(data))
+        if self.maximum == self.minimum:
+            raise ValueError(f"degenerate data range [{self.minimum}, {self.maximum}]")
+        self.fitted = True
+        return self
+
+    def transform(self, data: np.ndarray, clip: bool = False) -> np.ndarray:
+        """Apply Eq. 5; requires a prior :meth:`fit`."""
+        if not self.fitted:
+            raise RuntimeError("normalizer used before fit()")
+        out = (np.asarray(data, dtype=np.float64) - self.minimum) / (self.maximum - self.minimum)
+        if clip:
+            out = np.clip(out, 0.0, 1.0)
+        return out
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on ``data`` and return its normalized values."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        """Undo :meth:`transform`."""
+        if not self.fitted:
+            raise RuntimeError("normalizer used before fit()")
+        return np.asarray(data, dtype=np.float64) * (self.maximum - self.minimum) + self.minimum
+
+    # -- persistence ----------------------------------------------------
+    def to_dict(self) -> dict[str, float]:
+        """JSON-serializable parameter dict."""
+        if not self.fitted:
+            raise RuntimeError("normalizer used before fit()")
+        return {"minimum": self.minimum, "maximum": self.maximum}
+
+    @classmethod
+    def from_dict(cls, params: dict[str, float]) -> "MinMaxNormalizer":
+        """Rebuild a fitted normalizer from :meth:`to_dict` output."""
+        return cls(minimum=float(params["minimum"]), maximum=float(params["maximum"]), fitted=True)

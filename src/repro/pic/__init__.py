@@ -1,0 +1,40 @@
+"""Traditional explicit electrostatic Particle-in-Cell substrate.
+
+Implements the computational cycle of the paper's Fig. 1: field gather
+at particle positions, leapfrog particle push, charge deposition, and a
+grid Poisson solve.
+"""
+
+from repro.pic.grid import Grid1D
+from repro.pic.particles import ParticleSet, load_two_stream
+from repro.pic.interpolation import deposit, gather
+from repro.pic.poisson import PoissonSolver, electric_field_from_potential
+from repro.pic.mover import push_positions, push_velocities
+from repro.pic.diagnostics import (
+    History,
+    field_energy,
+    kinetic_energy,
+    mode_amplitude,
+    total_momentum,
+)
+from repro.pic.simulation import TraditionalPIC
+from repro.pic.energy_conserving import EnergyConservingPIC
+
+__all__ = [
+    "Grid1D",
+    "ParticleSet",
+    "load_two_stream",
+    "deposit",
+    "gather",
+    "PoissonSolver",
+    "electric_field_from_potential",
+    "push_positions",
+    "push_velocities",
+    "History",
+    "field_energy",
+    "kinetic_energy",
+    "mode_amplitude",
+    "total_momentum",
+    "TraditionalPIC",
+    "EnergyConservingPIC",
+]

@@ -1,0 +1,58 @@
+"""One-dimensional periodic grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Grid1D:
+    """A uniform periodic grid on ``[0, length)``.
+
+    Grid quantities (charge density, potential, electric field) live on
+    the ``n_cells`` nodes ``x_j = j * dx``; by periodicity the node at
+    ``x = length`` is the node at ``x = 0``.
+    """
+
+    n_cells: int
+    length: float
+
+    def __post_init__(self) -> None:
+        if self.n_cells < 2:
+            raise ValueError(f"n_cells must be >= 2, got {self.n_cells}")
+        if self.length <= 0:
+            raise ValueError(f"length must be positive, got {self.length}")
+
+    @property
+    def dx(self) -> float:
+        """Grid spacing."""
+        return self.length / self.n_cells
+
+    @property
+    def nodes(self) -> np.ndarray:
+        """Node coordinates ``x_j = j * dx``, shape ``(n_cells,)``."""
+        return np.arange(self.n_cells) * self.dx
+
+    @property
+    def cell_centers(self) -> np.ndarray:
+        """Cell-center coordinates ``(j + 1/2) * dx``."""
+        return (np.arange(self.n_cells) + 0.5) * self.dx
+
+    @property
+    def fundamental_wavenumber(self) -> float:
+        """``k1 = 2*pi / length``."""
+        return 2.0 * np.pi / self.length
+
+    def wavenumbers(self) -> np.ndarray:
+        """Signed FFT wavenumbers matching ``numpy.fft.fft`` ordering."""
+        return 2.0 * np.pi * np.fft.fftfreq(self.n_cells, d=self.dx)
+
+    def rfft_wavenumbers(self) -> np.ndarray:
+        """Non-negative wavenumbers matching ``numpy.fft.rfft`` ordering."""
+        return 2.0 * np.pi * np.fft.rfftfreq(self.n_cells, d=self.dx)
+
+    def wrap(self, x: np.ndarray) -> np.ndarray:
+        """Map positions into ``[0, length)`` periodically."""
+        return np.mod(x, self.length)

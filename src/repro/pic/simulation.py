@@ -1,0 +1,178 @@
+"""Electrostatic PIC orchestrators.
+
+:class:`PICSimulation` implements the computational cycle shared by the
+traditional and the DL-based method (the white boxes of the paper's
+Figs. 1-2): field gather at particle positions, leapfrog push, then a
+*field computation* that is supplied by a pluggable solver object.
+
+:class:`TraditionalPIC` wires in the classic charge-deposit + Poisson
+field solve (Fig. 1); ``repro.dlpic.DLPIC`` wires in the neural solver
+(Fig. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.pic.diagnostics import History
+from repro.pic.grid import Grid1D
+from repro.pic.interpolation import charge_density, gather
+from repro.pic.mover import push_positions, push_velocities, rewind_velocities
+from repro.pic.particles import ParticleSet, load_two_stream
+from repro.pic.poisson import PoissonSolver
+
+
+class FieldSolver(Protocol):
+    """Anything that can produce ``E`` on the grid from particle data."""
+
+    def field(self, x: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Electric field on grid nodes given the particle phase space."""
+        ...
+
+
+class ChargeDepositionFieldSolver:
+    """The traditional field-solve: deposit charge, solve Poisson.
+
+    This is the right-hand loop of the paper's Fig. 1 (interpolation of
+    the charge density at grid points + Poisson solve + gradient).
+    """
+
+    def __init__(
+        self,
+        grid: Grid1D,
+        particle_charge: float,
+        interpolation: str = "cic",
+        poisson_method: str = "spectral",
+        gradient: str = "central",
+        background: float = 1.0,
+    ) -> None:
+        self.grid = grid
+        self.particle_charge = particle_charge
+        self.interpolation = interpolation
+        self.background = background
+        self.poisson = PoissonSolver(grid, method=poisson_method, gradient=gradient)
+        self.last_rho: "np.ndarray | None" = None
+        self.last_phi: "np.ndarray | None" = None
+
+    def field(self, x: np.ndarray, v: np.ndarray) -> np.ndarray:
+        rho = charge_density(
+            self.grid, x, self.particle_charge, order=self.interpolation, background=self.background
+        )
+        phi, e = self.poisson.solve(rho)
+        self.last_rho = rho
+        self.last_phi = phi
+        return e
+
+
+class PICSimulation:
+    """Generic explicit electrostatic PIC cycle with a pluggable field solver.
+
+    Leapfrog time staggering: positions live at integer times ``t_n``,
+    velocities at half times ``t_{n-1/2}``.  Diagnostics are evaluated
+    at integer times using the time-centered velocity average.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        field_solver: FieldSolver,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> None:
+        self.config = config
+        self.grid = Grid1D(config.n_cells, config.box_length)
+        self.field_solver = field_solver
+        self.particles: ParticleSet = load_two_stream(config, rng)
+        self.time: float = 0.0
+        self.step_index: int = 0
+        # Field at t=0 consistent with the initial particle state.
+        self.efield: np.ndarray = np.asarray(
+            field_solver.field(self.particles.x, self.particles.v), dtype=np.float64
+        )
+        self._v_integer = self.particles.v.copy()  # v at t=0 (integer time)
+        # Rewind v to t = -dt/2 for leapfrog staggering.
+        e_at_p = gather(self.grid, self.efield, self.particles.x, order=config.interpolation)
+        self.particles.v = rewind_velocities(self.particles.v, e_at_p, config.qm, config.dt)
+
+    @property
+    def v_at_integer_time(self) -> np.ndarray:
+        """Velocities synchronized to the current integer time."""
+        return self._v_integer
+
+    def step(self) -> None:
+        """Advance one PIC cycle (gather -> push v -> push x -> field)."""
+        cfg = self.config
+        e_at_p = gather(self.grid, self.efield, self.particles.x, order=cfg.interpolation)
+        v_new = push_velocities(self.particles.v, e_at_p, cfg.qm, cfg.dt)
+        self.particles.v = v_new
+        self.particles.x = push_positions(self.particles.x, v_new, cfg.dt, cfg.box_length)
+        self.efield = np.asarray(
+            self.field_solver.field(self.particles.x, self.particles.v), dtype=np.float64
+        )
+        self.step_index += 1
+        self.time += cfg.dt
+        # Synchronize velocities to the new integer time t_{n+1} with a
+        # half push using the freshly computed field (diagnostics only).
+        e_new_at_p = gather(self.grid, self.efield, self.particles.x, order=cfg.interpolation)
+        self._v_integer = v_new + 0.5 * cfg.qm * e_new_at_p * cfg.dt
+
+    def run(
+        self,
+        n_steps: "int | None" = None,
+        history: "History | None" = None,
+        callback: "Callable[[PICSimulation], None] | None" = None,
+    ) -> History:
+        """Run ``n_steps`` cycles, recording diagnostics at every step.
+
+        The history includes the initial state, so it holds
+        ``n_steps + 1`` entries.  ``callback`` fires after every step
+        (used by the dataset campaign to harvest training pairs).
+        """
+        n = self.config.n_steps if n_steps is None else n_steps
+        if n < 0:
+            raise ValueError(f"n_steps must be non-negative, got {n}")
+        hist = history if history is not None else History()
+        hist.record(self.step_index, self.time, self.grid, self.particles, self.efield,
+                    v_center=self._v_integer)
+        for _ in range(n):
+            self.step()
+            hist.record(self.step_index, self.time, self.grid, self.particles, self.efield,
+                        v_center=self._v_integer)
+            if callback is not None:
+                callback(self)
+        return hist
+
+
+class TraditionalPIC(PICSimulation):
+    """The paper's traditional explicit electrostatic PIC (Fig. 1)."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> None:
+        grid = Grid1D(config.n_cells, config.box_length)
+        solver = ChargeDepositionFieldSolver(
+            grid,
+            particle_charge=config.particle_charge,
+            interpolation=config.interpolation,
+            poisson_method=config.poisson_solver,
+            gradient=config.gradient,
+        )
+        super().__init__(config, solver, rng)
+
+    @property
+    def charge_density(self) -> "np.ndarray | None":
+        """Total charge density from the most recent field solve."""
+        solver = self.field_solver
+        assert isinstance(solver, ChargeDepositionFieldSolver)
+        return solver.last_rho
+
+    @property
+    def potential(self) -> "np.ndarray | None":
+        """Electrostatic potential from the most recent field solve."""
+        solver = self.field_solver
+        assert isinstance(solver, ChargeDepositionFieldSolver)
+        return solver.last_phi

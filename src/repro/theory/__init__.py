@@ -1,0 +1,31 @@
+"""Linear theory of the two-stream instability and growth-rate fitting."""
+
+from repro.theory.dispersion import (
+    dispersion_residual,
+    growth_rate_cold,
+    growth_rate_curve,
+    most_unstable_k,
+    max_growth_rate,
+    solve_dispersion,
+    stability_threshold_k,
+)
+from repro.theory.growth import GrowthFit, fit_growth_rate
+from repro.theory.coldbeam import beam_velocity_spread, coldbeam_ripple_metrics
+from repro.theory.spectral import ErrorSpectrum, field_error_spectrum, solver_error_spectrum
+
+__all__ = [
+    "dispersion_residual",
+    "growth_rate_cold",
+    "growth_rate_curve",
+    "most_unstable_k",
+    "max_growth_rate",
+    "solve_dispersion",
+    "stability_threshold_k",
+    "GrowthFit",
+    "fit_growth_rate",
+    "beam_velocity_spread",
+    "coldbeam_ripple_metrics",
+    "ErrorSpectrum",
+    "field_error_spectrum",
+    "solver_error_spectrum",
+]

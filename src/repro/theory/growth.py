@@ -1,0 +1,115 @@
+"""Growth-rate extraction from a simulated mode-amplitude history.
+
+The paper's Fig. 4 compares the slope of ``log E1(t)`` during the
+linear phase of the instability with the analytic prediction.  This
+module automates the comparison: it detects the exponential-growth
+window (above the noise floor, below saturation) and fits a line to
+``log E1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """Result of an exponential-growth fit.
+
+    Attributes
+    ----------
+    gamma:
+        Fitted growth rate (slope of ``log E1`` vs time).
+    intercept:
+        Fitted ``log E1`` at ``t = 0``.
+    r_squared:
+        Coefficient of determination of the linear fit.
+    t_start, t_end:
+        Fit window actually used.
+    n_points:
+        Samples inside the window.
+    """
+
+    gamma: float
+    intercept: float
+    r_squared: float
+    t_start: float
+    t_end: float
+    n_points: int
+
+    def relative_error(self, gamma_theory: float) -> float:
+        """``|gamma - gamma_theory| / gamma_theory``."""
+        if gamma_theory == 0:
+            raise ValueError("theory growth rate is zero")
+        return abs(self.gamma - gamma_theory) / abs(gamma_theory)
+
+
+def _linear_fit(t: np.ndarray, y: np.ndarray) -> tuple[float, float, float]:
+    """Least-squares line fit returning (slope, intercept, r^2)."""
+    slope, intercept = np.polyfit(t, y, 1)
+    pred = slope * t + intercept
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return float(slope), float(intercept), r2
+
+
+def fit_growth_rate(
+    time: np.ndarray,
+    amplitude: np.ndarray,
+    t_start: "float | None" = None,
+    t_end: "float | None" = None,
+    noise_factor: float = 3.0,
+    saturation_fraction: float = 0.3,
+) -> GrowthFit:
+    """Fit ``amplitude ~ exp(gamma t)`` over the linear phase.
+
+    If ``t_start``/``t_end`` are not given, the window is detected
+    automatically: it opens once the amplitude exceeds
+    ``noise_factor`` times the initial noise floor and closes when the
+    amplitude first reaches ``saturation_fraction`` of its maximum.
+    """
+    t = np.asarray(time, dtype=np.float64)
+    a = np.asarray(amplitude, dtype=np.float64)
+    if t.shape != a.shape or t.ndim != 1:
+        raise ValueError(f"time {t.shape} and amplitude {a.shape} must be equal-length 1D")
+    if t.size < 4:
+        raise ValueError(f"need at least 4 samples, got {t.size}")
+    if np.any(a <= 0):
+        raise ValueError("amplitudes must be positive to fit an exponential")
+
+    if t_start is None or t_end is None:
+        noise_floor = a[: max(2, t.size // 20)].mean()
+        peak = float(a.max())
+        start_level = noise_factor * noise_floor
+        end_level = saturation_fraction * peak
+        if end_level <= start_level:
+            # No clear exponential window (e.g. a stable run):
+            # fall back to the first half of the series.
+            auto_start, auto_end = t[0], t[t.size // 2]
+        else:
+            above = np.nonzero(a >= start_level)[0]
+            auto_start = t[above[0]] if above.size else t[0]
+            sat = np.nonzero(a >= end_level)[0]
+            auto_end = t[sat[0]] if sat.size else t[-1]
+            if auto_end <= auto_start:
+                auto_end = t[-1]
+        t_start = auto_start if t_start is None else t_start
+        t_end = auto_end if t_end is None else t_end
+
+    mask = (t >= t_start) & (t <= t_end)
+    if int(mask.sum()) < 3:
+        raise ValueError(
+            f"fit window [{t_start}, {t_end}] contains {int(mask.sum())} points; need >= 3"
+        )
+    slope, intercept, r2 = _linear_fit(t[mask], np.log(a[mask]))
+    return GrowthFit(
+        gamma=slope,
+        intercept=intercept,
+        r_squared=r2,
+        t_start=float(t_start),
+        t_end=float(t_end),
+        n_points=int(mask.sum()),
+    )

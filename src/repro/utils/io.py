@@ -1,0 +1,53 @@
+"""Artifact I/O helpers built on ``numpy.savez``."""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+
+def ensure_dir(path: "str | os.PathLike[str]") -> Path:
+    """Create ``path`` (and parents) if needed and return it as ``Path``."""
+    p = Path(path)
+    p.mkdir(parents=True, exist_ok=True)
+    return p
+
+
+def save_npz_dict(path: "str | os.PathLike[str]", data: Mapping[str, Any]) -> Path:
+    """Save a flat mapping of arrays/scalars to a compressed ``.npz``.
+
+    Non-array values are stored via a JSON side-channel under the
+    reserved key ``__meta__`` so that round-tripping preserves python
+    scalars, strings, lists and dicts.
+    """
+    path = Path(path)
+    ensure_dir(path.parent)
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict[str, Any] = {}
+    for key, value in data.items():
+        if key == "__meta__":
+            raise ValueError("'__meta__' is a reserved key")
+        if isinstance(value, np.ndarray):
+            arrays[key] = value
+        else:
+            meta[key] = value
+    arrays["__meta__"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_npz_dict(path: "str | os.PathLike[str]") -> dict[str, Any]:
+    """Inverse of :func:`save_npz_dict`."""
+    out: dict[str, Any] = {}
+    with np.load(path, allow_pickle=False) as archive:
+        for key in archive.files:
+            if key == "__meta__":
+                meta = json.loads(bytes(archive[key].tobytes()).decode("utf-8"))
+                out.update(meta)
+            else:
+                out[key] = archive[key]
+    return out

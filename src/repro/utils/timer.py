@@ -1,0 +1,26 @@
+"""A minimal wall-clock timer used by the performance benches."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.start: float = 0.0
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self.start

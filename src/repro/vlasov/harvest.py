@@ -1,0 +1,97 @@
+"""Harvest noise-free training data from Vlasov-Poisson runs.
+
+The DL solver consumes phase-space *particle counts*; a Vlasov solution
+is a smooth density.  ``expected_counts`` converts the distribution to
+the expected NGP histogram a PIC run with ``n_particles`` macro
+particles would produce, so Vlasov-generated pairs slot into the same
+training pipeline (the paper's proposed noise-free data source).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.dataset import FieldDataset
+from repro.phasespace.binning import PhaseSpaceGrid
+from repro.vlasov.solver import VlasovConfig, VlasovSimulation
+
+
+def _coarsen(f: np.ndarray, factor_v: int, factor_x: int) -> np.ndarray:
+    """Block-sum coarsening of a phase-space density (mass-weighted)."""
+    n_v, n_x = f.shape
+    return (
+        f.reshape(n_v // factor_v, factor_v, n_x // factor_x, factor_x).sum(axis=(1, 3))
+    )
+
+
+def expected_counts(
+    f: np.ndarray,
+    config: VlasovConfig,
+    ps_grid: PhaseSpaceGrid,
+    n_particles: int,
+) -> np.ndarray:
+    """Expected per-bin particle counts of an equivalent PIC ensemble.
+
+    The distribution is normalized to mean density 1, so its total mass
+    is ``L`` and the expected count in a phase-space cell of mass ``m``
+    is ``n_particles * m / L``.  The Vlasov grid must tile the
+    histogram grid (equal or integer-multiple resolution, same window).
+    """
+    if n_particles < 1:
+        raise ValueError(f"n_particles must be >= 1, got {n_particles}")
+    if config.n_v % ps_grid.n_v or config.n_x % ps_grid.n_x:
+        raise ValueError(
+            f"Vlasov grid {(config.n_v, config.n_x)} does not tile histogram grid "
+            f"{ps_grid.shape}"
+        )
+    if (
+        abs(config.v_min - ps_grid.v_min) > 1e-12
+        or abs(config.v_max - ps_grid.v_max) > 1e-12
+        or abs(config.box_length - ps_grid.box_length) > 1e-12
+    ):
+        raise ValueError("Vlasov and histogram phase-space windows differ")
+    cell_mass = np.asarray(f, dtype=np.float64) * config.dx * config.dv
+    coarse = _coarsen(cell_mass, config.n_v // ps_grid.n_v, config.n_x // ps_grid.n_x)
+    return coarse * (n_particles / config.box_length)
+
+
+def harvest_vlasov_dataset(
+    config: VlasovConfig,
+    ps_grid: PhaseSpaceGrid,
+    n_particles: int,
+    n_steps: "int | None" = None,
+    stride: int = 1,
+) -> FieldDataset:
+    """Run a Vlasov simulation and emit (expected-count, field) pairs.
+
+    ``stride`` keeps every ``stride``-th step (Vlasov runs typically use
+    smaller time steps than the PIC campaign).
+    """
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+    sim = VlasovSimulation(config)
+    n = config.n_steps if n_steps is None else n_steps
+    inputs: list[np.ndarray] = []
+    targets: list[np.ndarray] = []
+    steps: list[int] = []
+    inputs.append(expected_counts(sim.f, config, ps_grid, n_particles))
+    targets.append(sim.efield.copy())
+    steps.append(0)
+    for i in range(1, n + 1):
+        sim.step()
+        if i % stride == 0:
+            inputs.append(expected_counts(sim.f, config, ps_grid, n_particles))
+            targets.append(sim.efield.copy())
+            steps.append(i)
+    n_kept = len(inputs)
+    params = np.column_stack(
+        [
+            np.full(n_kept, config.v0),
+            np.full(n_kept, config.vth),
+            np.full(n_kept, -1.0),  # seed sentinel: deterministic Vlasov run
+            np.asarray(steps, dtype=np.float64),
+        ]
+    )
+    return FieldDataset(
+        inputs=np.stack(inputs), targets=np.stack(targets), params=params, ps_grid=ps_grid
+    )

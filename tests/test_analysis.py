@@ -1,0 +1,120 @@
+"""ASCII rendering and report generation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.render import render_phase_space, render_series
+from repro.analysis.report import build_report
+from repro.phasespace.binning import PhaseSpaceGrid
+
+
+class TestRenderPhaseSpace:
+    def test_two_beams_render_as_two_bands(self):
+        n = 2000
+        x = np.linspace(0, 2.0, n, endpoint=False)
+        v = np.where(np.arange(n) % 2 == 0, 0.2, -0.2)
+        grid = PhaseSpaceGrid(n_x=32, n_v=8, box_length=2.0, v_min=-0.4, v_max=0.4)
+        art = render_phase_space(x, v, grid=grid)
+        rows = [line for line in art.splitlines() if "|" in line]
+        dense = [r for r in rows if "@" in r]
+        assert len(dense) == 2  # exactly the two beam rows saturate
+
+    def test_auto_grid_from_box_length(self):
+        rng = np.random.default_rng(0)
+        art = render_phase_space(
+            rng.uniform(0, 2, 500), rng.normal(0, 0.1, 500),
+            box_length=2.0, width=20, height=6,
+        )
+        assert art.count("\n") >= 6
+
+    def test_velocity_axis_increases_upward(self):
+        grid = PhaseSpaceGrid(n_x=4, n_v=4, box_length=1.0, v_min=-1.0, v_max=1.0)
+        art = render_phase_space(np.array([0.5]), np.array([0.75]), grid=grid)
+        lines = art.splitlines()
+        assert "@" in lines[0]  # highest-velocity row is printed first
+
+    def test_title_included(self):
+        art = render_phase_space(
+            np.array([0.1]), np.array([0.0]), box_length=1.0, title="Phase space"
+        )
+        assert art.startswith("Phase space")
+
+    def test_requires_grid_or_box_length(self):
+        with pytest.raises(ValueError):
+            render_phase_space(np.array([0.1]), np.array([0.0]))
+
+    def test_raster_size_validation(self):
+        with pytest.raises(ValueError):
+            render_phase_space(np.array([0.1]), np.array([0.0]),
+                               box_length=1.0, width=1)
+
+
+class TestRenderSeries:
+    def test_monotone_series_rises_left_to_right(self):
+        t = np.linspace(0, 10, 50)
+        art = render_series(t, t + 1.0, width=20, height=8)
+        lines = [l for l in art.splitlines() if "|" in l]
+        first_star_row = next(i for i, l in enumerate(lines) if "*" in l)
+        # The last column's star is in the top row; the first column's near bottom.
+        assert "*" in lines[0]
+        assert "*" in lines[-1]
+        assert first_star_row == 0
+
+    def test_logscale_exponential_is_straight(self):
+        t = np.linspace(0, 10, 100)
+        y = 1e-4 * np.exp(0.5 * t)
+        art = render_series(t, y, logscale=True, width=30, height=10)
+        assert "1e" in art  # log-axis labels
+
+    def test_logscale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            render_series(np.arange(3.0), np.array([1.0, 0.0, 2.0]), logscale=True)
+
+    def test_constant_series(self):
+        art = render_series(np.arange(5.0), np.full(5, 2.0))
+        assert "*" in art
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            render_series(np.arange(3.0), np.arange(4.0))
+        with pytest.raises(ValueError):
+            render_series(np.arange(2.0), np.arange(2.0), height=1)
+
+
+class TestReport:
+    @pytest.fixture
+    def results(self, tmp_path):
+        (tmp_path / "table1.json").write_text(json.dumps({
+            "MLP-I": {"mae": 0.004, "max_error": 0.1},
+            "CNN-I": {"mae": 0.005, "max_error": 0.06},
+        }))
+        (tmp_path / "fig4.json").write_text(json.dumps({
+            "gamma_theory": 0.3536, "gamma_traditional": 0.33, "gamma_dl": 0.32,
+            "r2_traditional": 0.96, "r2_dl": 0.96,
+            "e1_max_traditional": 0.14, "e1_max_dl": 0.10,
+        }))
+        return tmp_path
+
+    def test_builds_sections_for_available_results(self, results):
+        report = build_report(results)
+        assert "# Reproduction report" in report
+        assert "Table I" in report
+        assert "Fig. 4" in report
+        assert "Fig. 5" not in report  # no fig5.json present
+
+    def test_paper_values_included(self, results):
+        report = build_report(results)
+        assert "0.0019" in report  # paper MLP-I MAE
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            build_report(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(ValueError, match="no benchmark results"):
+            build_report(tmp_path)
+
+    def test_custom_title(self, results):
+        assert build_report(results, title="My run").startswith("# My run")

@@ -1,0 +1,93 @@
+"""The paper's MLP and CNN factories (Sec. IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.models.architectures import build_cnn, build_mlp
+from repro.nn.layers import Conv2D, Dense, MaxPool2D, ReLU
+
+
+class TestMLP:
+    def test_paper_architecture_dimensions(self):
+        """3 hidden layers x 1024 ReLU neurons, 64 linear outputs."""
+        model = build_mlp(input_size=64 * 64, output_size=64, hidden_size=1024)
+        dense = [l for l in model.layers if isinstance(l, Dense)]
+        assert [d.out_features for d in dense] == [1024, 1024, 1024, 64]
+        relus = [l for l in model.layers if isinstance(l, ReLU)]
+        assert len(relus) == 3
+        # Output layer is linear: the stack must not end with an activation.
+        assert isinstance(model.layers[-1], Dense)
+
+    def test_paper_parameter_count(self):
+        model = build_mlp(input_size=4096, output_size=64, hidden_size=1024)
+        expected = (4096 * 1024 + 1024) + 2 * (1024 * 1024 + 1024) + (1024 * 64 + 64)
+        assert model.n_parameters == expected
+
+    def test_forward_shape(self):
+        model = build_mlp(input_size=32, output_size=8, hidden_size=16)
+        assert model.forward(np.zeros((5, 32))).shape == (5, 8)
+
+    def test_configurable_depth(self):
+        model = build_mlp(input_size=8, output_size=2, hidden_size=4, n_hidden=5)
+        assert len([l for l in model.layers if isinstance(l, Dense)]) == 6
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            build_mlp(n_hidden=0)
+
+    def test_seeded_reproducibility(self):
+        a = build_mlp(input_size=8, output_size=2, hidden_size=4, rng=3)
+        b = build_mlp(input_size=8, output_size=2, hidden_size=4, rng=3)
+        x = np.random.default_rng(0).normal(size=(2, 8))
+        np.testing.assert_array_equal(a.forward(x), b.forward(x))
+
+
+class TestCNN:
+    def test_paper_block_structure(self):
+        """Two blocks of [conv, conv, maxpool], then three dense + output."""
+        model = build_cnn(input_shape=(1, 64, 64))
+        convs = [l for l in model.layers if isinstance(l, Conv2D)]
+        pools = [l for l in model.layers if isinstance(l, MaxPool2D)]
+        dense = [l for l in model.layers if isinstance(l, Dense)]
+        assert len(convs) == 4
+        assert len(pools) == 2
+        assert len(dense) == 4  # 3 hidden + linear output
+        assert dense[-1].out_features == 64
+
+    def test_forward_shape(self):
+        model = build_cnn(
+            input_shape=(1, 16, 16), output_size=8, channels=(2, 4), hidden_size=8
+        )
+        out = model.forward(np.zeros((3, 1, 16, 16)))
+        assert out.shape == (3, 8)
+
+    def test_two_pools_quarter_spatial_size(self):
+        model = build_cnn(
+            input_shape=(1, 16, 32), output_size=4, channels=(2, 3), hidden_size=8
+        )
+        flat_dense = [l for l in model.layers if isinstance(l, Dense)][0]
+        assert flat_dense.in_features == 3 * 4 * 8
+
+    def test_rejects_indivisible_input(self):
+        with pytest.raises(ValueError, match="divisible by 4"):
+            build_cnn(input_shape=(1, 30, 64))
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            build_cnn(input_shape=(1, 16, 16), n_hidden=0)
+
+    def test_cnn_trains_a_step(self):
+        """End-to-end fit smoke: one tiny batch reduces training loss."""
+        from repro.nn.losses import MSELoss
+        from repro.nn.optimizers import Adam
+        from repro.nn.training import Trainer
+
+        model = build_cnn(
+            input_shape=(1, 8, 8), output_size=4, channels=(2, 2), hidden_size=8, rng=0
+        )
+        rng = np.random.default_rng(1)
+        x = rng.random((32, 1, 8, 8))
+        y = rng.normal(size=(32, 4)) * 0.01
+        trainer = Trainer(model, MSELoss(), Adam(lr=1e-3))
+        history = trainer.fit(x, y, epochs=8, batch_size=8, rng=2)
+        assert history.loss[-1] < history.loss[0]

@@ -1,0 +1,156 @@
+"""Phase-space binning (the paper's Fig. 2 first grey box)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phasespace.binning import PhaseSpaceGrid, bin_phase_space
+
+
+@pytest.fixture
+def grid() -> PhaseSpaceGrid:
+    return PhaseSpaceGrid(n_x=8, n_v=4, box_length=2.0, v_min=-1.0, v_max=1.0)
+
+
+class TestGridGeometry:
+    def test_bin_widths(self, grid):
+        assert grid.dx == pytest.approx(0.25)
+        assert grid.dv == pytest.approx(0.5)
+
+    def test_shape_and_size(self, grid):
+        assert grid.shape == (4, 8)
+        assert grid.size == 32
+
+    def test_edges(self, grid):
+        assert grid.x_edges()[0] == 0.0
+        assert grid.x_edges()[-1] == pytest.approx(2.0)
+        assert grid.v_edges()[0] == -1.0
+        assert grid.v_edges()[-1] == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_x": 0},
+            {"n_v": 0},
+            {"v_min": 1.0, "v_max": -1.0},
+            {"box_length": 0.0},
+        ],
+    )
+    def test_invalid_grid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PhaseSpaceGrid(**{"n_x": 8, "n_v": 4, **kwargs})
+
+
+class TestNGPBinning:
+    def test_total_mass_equals_particle_count(self, grid):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, grid.box_length, 300)
+        v = rng.normal(0, 0.4, 300)
+        hist = bin_phase_space(x, v, grid, order="ngp")
+        assert hist.sum() == pytest.approx(300.0)
+
+    def test_known_placement(self, grid):
+        # x = 0.3 -> x-bin 1 (width 0.25); v = 0.25 -> v-bin 2 ([0, 0.5)).
+        hist = bin_phase_space(np.array([0.3]), np.array([0.25]), grid, order="ngp")
+        assert hist[2, 1] == 1.0
+        assert hist.sum() == 1.0
+
+    def test_out_of_window_velocity_clipped_to_edge(self, grid):
+        hist = bin_phase_space(np.array([0.1, 0.1]), np.array([5.0, -5.0]), grid)
+        assert hist[grid.n_v - 1, 0] == 1.0
+        assert hist[0, 0] == 1.0
+
+    def test_position_wraps_periodically(self, grid):
+        a = bin_phase_space(np.array([0.3]), np.array([0.0]), grid)
+        b = bin_phase_space(np.array([0.3 + grid.box_length]), np.array([0.0]), grid)
+        np.testing.assert_array_equal(a, b)
+
+    def test_counts_are_integers(self, grid):
+        rng = np.random.default_rng(1)
+        hist = bin_phase_space(rng.uniform(0, 2, 50), rng.normal(size=50), grid)
+        np.testing.assert_array_equal(hist, np.round(hist))
+
+    def test_two_beams_occupy_two_rows(self):
+        grid = PhaseSpaceGrid(n_x=16, n_v=16, box_length=2.0, v_min=-0.5, v_max=0.5)
+        n = 400
+        x = np.linspace(0, 2, n, endpoint=False)
+        v = np.where(np.arange(n) % 2 == 0, 0.2, -0.2)
+        hist = bin_phase_space(x, v, grid)
+        occupied_rows = np.nonzero(hist.sum(axis=1))[0]
+        assert len(occupied_rows) == 2
+
+    def test_dtype_argument(self, grid):
+        hist = bin_phase_space(np.array([0.1]), np.array([0.0]), grid, dtype=np.float32)
+        assert hist.dtype == np.float32
+
+
+class TestCICBinning:
+    def test_total_mass_conserved(self, grid):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, grid.box_length, 500)
+        v = rng.uniform(-0.9, 0.9, 500)
+        hist = bin_phase_space(x, v, grid, order="cic")
+        assert hist.sum() == pytest.approx(500.0, rel=1e-12)
+
+    def test_mass_conserved_even_when_clipped(self, grid):
+        hist = bin_phase_space(np.array([0.5]), np.array([10.0]), grid, order="cic")
+        assert hist.sum() == pytest.approx(1.0, rel=1e-12)
+
+    def test_particle_at_bin_center_is_pointlike(self, grid):
+        # Center of x-bin 2 and v-bin 1.
+        x = np.array([(2 + 0.5) * grid.dx])
+        v = np.array([grid.v_min + (1 + 0.5) * grid.dv])
+        hist = bin_phase_space(x, v, grid, order="cic")
+        assert hist[1, 2] == pytest.approx(1.0)
+
+    def test_bilinear_split(self, grid):
+        # Quarter-offset from the center of x-bin 2 / v-bin 1.
+        x = np.array([(2 + 0.75) * grid.dx])
+        v = np.array([grid.v_min + (1 + 0.75) * grid.dv])
+        hist = bin_phase_space(x, v, grid, order="cic")
+        assert hist[1, 2] == pytest.approx(0.75 * 0.75)
+        assert hist[1, 3] == pytest.approx(0.75 * 0.25)
+        assert hist[2, 2] == pytest.approx(0.25 * 0.75)
+        assert hist[2, 3] == pytest.approx(0.25 * 0.25)
+
+    def test_cic_smoother_than_ngp(self):
+        """CIC spreads mass: fewer empty bins for the same particles."""
+        grid = PhaseSpaceGrid(n_x=32, n_v=32, box_length=2.0, v_min=-0.5, v_max=0.5)
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0, 2, 2000)
+        v = rng.normal(0, 0.2, 2000)
+        ngp = bin_phase_space(x, v, grid, order="ngp")
+        cic = bin_phase_space(x, v, grid, order="cic")
+        assert np.count_nonzero(cic) >= np.count_nonzero(ngp)
+
+
+class TestValidation:
+    def test_mismatched_shapes_rejected(self, grid):
+        with pytest.raises(ValueError):
+            bin_phase_space(np.zeros(3), np.zeros(4), grid)
+
+    def test_2d_input_rejected(self, grid):
+        with pytest.raises(ValueError):
+            bin_phase_space(np.zeros((2, 2)), np.zeros((2, 2)), grid)
+
+    def test_unknown_order_rejected(self, grid):
+        with pytest.raises(ValueError, match="unknown binning order"):
+            bin_phase_space(np.zeros(2), np.zeros(2), grid, order="tsc")
+
+
+class TestBinningProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        order=st.sampled_from(["ngp", "cic"]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mass_invariant(self, n, order, seed):
+        grid = PhaseSpaceGrid(n_x=8, n_v=8, box_length=1.0, v_min=-1.0, v_max=1.0)
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-3, 3, n)
+        v = rng.normal(0, 1.5, n)  # often outside the window -> clipped
+        hist = bin_phase_space(x, v, grid, order=order)
+        assert hist.sum() == pytest.approx(float(n), rel=1e-9)
+        assert np.all(hist >= 0)

@@ -1,0 +1,93 @@
+"""Command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.command == "simulate"
+        assert args.v0 == 0.2
+        assert args.ppc == 1000
+
+    def test_invalid_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--interpolation", "spline"])
+
+    def test_reproduce_requires_artifact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce"])
+
+
+class TestSimulateCommand:
+    def test_runs_and_reports_growth(self, capsys, tmp_path):
+        out = tmp_path / "history.npz"
+        code = main([
+            "simulate", "--cells", "32", "--ppc", "40", "--steps", "20",
+            "--vth", "0.01", "--out", str(out),
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "energy variation" in text
+        assert "growth rate" in text
+        assert out.exists()
+        from repro.utils.io import load_npz_dict
+
+        series = load_npz_dict(out)
+        assert series["time"].shape == (21,)
+
+    def test_stable_configuration_reported(self, capsys):
+        code = main([
+            "simulate", "--cells", "32", "--ppc", "40", "--steps", "5",
+            "--v0", "0.4", "--vth", "0.0",
+        ])
+        assert code == 0
+        assert "linearly stable" in capsys.readouterr().out
+
+
+class TestDatasetCommand:
+    def test_fast_campaign_written(self, capsys, tmp_path):
+        out = tmp_path / "data.npz"
+        code = main(["dataset", "--preset", "fast", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        from repro.datagen.dataset import FieldDataset
+
+        data = FieldDataset.load(out)
+        assert len(data) == 244  # fast campaign size
+
+
+class TestTrainAndReproduce:
+    @pytest.fixture(scope="class")
+    def cache(self, tmp_path_factory):
+        return str(tmp_path_factory.mktemp("cli-cache"))
+
+    def test_train_fast(self, capsys, cache):
+        code = main(["train", "--preset", "fast", "--no-cnn", "--cache", cache])
+        assert code == 0
+        assert "TABLE I" in capsys.readouterr().out
+
+    def test_reproduce_fig4_from_cache(self, capsys, cache, tmp_path):
+        out = tmp_path / "fig4.json"
+        code = main([
+            "reproduce", "fig4", "--preset", "fast", "--cache", cache,
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert "gamma" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["gamma_theory"] == pytest.approx(0.3536, rel=1e-3)
+
+    def test_reproduce_table1_from_cache(self, capsys, cache):
+        code = main(["reproduce", "table1", "--preset", "fast", "--cache", cache])
+        assert code == 0
+        assert "Mean Absolute Error" in capsys.readouterr().out

@@ -1,0 +1,86 @@
+"""Cold-beam ripple diagnostics (Fig. 6 quantification)."""
+
+import numpy as np
+import pytest
+
+from repro.theory.coldbeam import (
+    ColdBeamMetrics,
+    beam_velocity_spread,
+    coldbeam_ripple_metrics,
+)
+
+
+class TestBeamSpread:
+    def test_perfectly_cold_beams(self):
+        v = np.array([0.4, 0.4, -0.4, -0.4])
+        assert beam_velocity_spread(v) == (0.0, 0.0)
+
+    def test_warm_beams(self):
+        rng = np.random.default_rng(0)
+        v = np.concatenate([0.4 + 0.01 * rng.normal(size=5000),
+                            -0.4 + 0.02 * rng.normal(size=5000)])
+        up, down = beam_velocity_spread(v)
+        assert up == pytest.approx(0.01, rel=0.1)
+        assert down == pytest.approx(0.02, rel=0.1)
+
+    def test_empty_beam_side(self):
+        up, down = beam_velocity_spread(np.array([0.4, 0.5]))
+        assert down == 0.0
+        assert up > 0.0
+
+    def test_custom_split_velocity(self):
+        v = np.array([0.1, 0.2, 0.3, 0.4])
+        up, down = beam_velocity_spread(v, split_velocity=0.25)
+        assert up == pytest.approx(np.std([0.3, 0.4]))
+        assert down == pytest.approx(np.std([0.1, 0.2]))
+
+    def test_invalid_input(self):
+        with pytest.raises(ValueError):
+            beam_velocity_spread(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            beam_velocity_spread(np.array([]))
+
+
+class TestRippleMetrics:
+    def test_clean_run_not_rippled(self):
+        v = np.array([0.4] * 10 + [-0.4] * 10)
+        energy = np.full(5, 0.164)
+        m = coldbeam_ripple_metrics(v, energy, vth_initial=0.0)
+        assert not m.rippled
+        assert m.max_spread == 0.0
+        assert m.energy_variation == 0.0
+
+    def test_heated_run_rippled(self):
+        rng = np.random.default_rng(1)
+        v = np.concatenate([0.4 + 0.01 * rng.normal(size=100),
+                            -0.4 + 0.01 * rng.normal(size=100)])
+        m = coldbeam_ripple_metrics(v, np.array([0.164, 0.160]), vth_initial=0.0)
+        assert m.rippled
+        assert m.energy_variation == pytest.approx(0.004 / 0.164)
+
+    def test_threshold_scales_with_initial_vth(self):
+        """A beam that started warm is not 'rippled' at its own vth."""
+        rng = np.random.default_rng(2)
+        vth = 0.02
+        v = np.concatenate([0.4 + vth * rng.normal(size=500),
+                            -0.4 + vth * rng.normal(size=500)])
+        m = coldbeam_ripple_metrics(v, np.ones(3), vth_initial=vth)
+        assert not m.rippled
+
+    def test_custom_ripple_threshold(self):
+        rng = np.random.default_rng(3)
+        v = np.concatenate([0.4 + 0.005 * rng.normal(size=200),
+                            -0.4 + 0.005 * rng.normal(size=200)])
+        strict = coldbeam_ripple_metrics(v, np.ones(2), ripple_threshold=1e-4)
+        lax = coldbeam_ripple_metrics(v, np.ones(2), ripple_threshold=0.1)
+        assert strict.rippled
+        assert not lax.rippled
+
+    def test_empty_energy_rejected(self):
+        with pytest.raises(ValueError):
+            coldbeam_ripple_metrics(np.array([0.4, -0.4]), np.array([]))
+
+    def test_metrics_are_frozen_dataclass(self):
+        m = ColdBeamMetrics(0.0, 0.0, 0.0, 0.0, False)
+        with pytest.raises(Exception):
+            m.rippled = True  # type: ignore[misc]

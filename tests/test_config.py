@@ -1,0 +1,111 @@
+"""SimulationConfig validation and derived quantities."""
+
+import math
+
+import pytest
+
+from repro import constants
+from repro.config import (
+    SimulationConfig,
+    paper_coldbeam_config,
+    paper_validation_config,
+)
+
+
+class TestDefaults:
+    def test_defaults_match_paper_section_iii(self):
+        cfg = SimulationConfig()
+        assert cfg.n_cells == 64
+        assert cfg.particles_per_cell == 1000
+        assert cfg.dt == 0.2
+        assert cfg.n_steps == 200
+        assert abs(cfg.box_length - 2.0 * math.pi / 3.06) < 1e-15
+
+    def test_total_particles(self):
+        assert SimulationConfig().n_particles == 64_000
+
+    def test_dx(self):
+        cfg = SimulationConfig(n_cells=64)
+        assert abs(cfg.dx - cfg.box_length / 64) < 1e-15
+
+    def test_electron_charge_to_mass_is_minus_one(self):
+        assert SimulationConfig().qm == -1.0
+
+
+class TestNormalization:
+    def test_mean_electron_density_is_minus_one(self):
+        cfg = SimulationConfig()
+        total_charge = cfg.particle_charge * cfg.n_particles
+        assert abs(total_charge / cfg.box_length + 1.0) < 1e-12
+
+    def test_particle_mass_consistent_with_qm(self):
+        cfg = SimulationConfig()
+        assert abs(cfg.particle_charge / cfg.particle_mass - cfg.qm) < 1e-12
+
+    def test_particle_mass_positive(self):
+        assert SimulationConfig().particle_mass > 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"box_length": 0.0},
+            {"box_length": -1.0},
+            {"n_cells": 1},
+            {"particles_per_cell": 0},
+            {"dt": 0.0},
+            {"n_steps": -1},
+            {"vth": -0.1},
+            {"interpolation": "spline"},
+            {"poisson_solver": "multigrid"},
+            {"gradient": "forward"},
+            {"loading": "sobol"},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SimulationConfig(**kwargs)
+
+    @pytest.mark.parametrize("interp", ["ngp", "cic", "tsc"])
+    def test_valid_interpolations_accepted(self, interp):
+        assert SimulationConfig(interpolation=interp).interpolation == interp
+
+    @pytest.mark.parametrize("solver", ["spectral", "fd", "direct"])
+    def test_valid_poisson_solvers_accepted(self, solver):
+        assert SimulationConfig(poisson_solver=solver).poisson_solver == solver
+
+
+class TestUpdates:
+    def test_with_updates_changes_field(self):
+        cfg = SimulationConfig().with_updates(v0=0.3)
+        assert cfg.v0 == 0.3
+
+    def test_with_updates_preserves_others(self):
+        cfg = SimulationConfig(seed=42).with_updates(v0=0.3)
+        assert cfg.seed == 42
+
+    def test_with_updates_revalidates(self):
+        with pytest.raises(ValueError):
+            SimulationConfig().with_updates(dt=-1.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SimulationConfig().v0 = 0.9  # type: ignore[misc]
+
+
+class TestPaperConfigs:
+    def test_validation_config_fig4(self):
+        cfg = paper_validation_config()
+        assert cfg.v0 == constants.PAPER_VALIDATION_V0
+        assert cfg.vth == constants.PAPER_VALIDATION_VTH
+
+    def test_coldbeam_config_fig6(self):
+        cfg = paper_coldbeam_config()
+        assert cfg.v0 == constants.PAPER_COLDBEAM_V0
+        assert cfg.vth == 0.0
+
+    def test_overrides_forwarded(self):
+        cfg = paper_validation_config(seed=9, n_steps=10)
+        assert cfg.seed == 9
+        assert cfg.n_steps == 10

@@ -1,0 +1,55 @@
+"""Cross-checks of the dimensionless unit system against the paper."""
+
+import math
+
+import numpy as np
+
+from repro import constants
+
+
+def test_box_length_matches_paper():
+    assert constants.TWO_STREAM_BOX_LENGTH == 2.0 * math.pi / 3.06
+
+
+def test_fundamental_wavenumber_is_306():
+    k1 = 2.0 * math.pi / constants.TWO_STREAM_BOX_LENGTH
+    assert abs(k1 - constants.TWO_STREAM_K1) < 1e-12
+
+
+def test_box_tuned_to_most_unstable_mode():
+    """k1 * v0 = sqrt(3/8): the paper chose L to maximize the growth rate."""
+    kv0 = constants.TWO_STREAM_K1 * constants.PAPER_VALIDATION_V0
+    assert abs(kv0 - constants.MOST_UNSTABLE_KV0) < 1e-3
+
+
+def test_max_growth_rate_closed_form():
+    assert abs(constants.MAX_TWO_STREAM_GROWTH_RATE - 1.0 / (2.0 * math.sqrt(2.0))) < 1e-15
+
+
+def test_coldbeam_config_is_linearly_stable():
+    """Fig. 6: k1 * 0.4 = 1.224 exceeds the stability threshold 1."""
+    kv0 = constants.TWO_STREAM_K1 * constants.PAPER_COLDBEAM_V0
+    assert kv0 > constants.TWO_STREAM_STABILITY_THRESHOLD_KV0
+
+
+def test_paper_campaign_has_twenty_combinations():
+    assert len(constants.PAPER_TRAINING_V0) * len(constants.PAPER_TRAINING_VTH) == 20
+
+
+def test_validation_parameters_not_in_training_sweep():
+    assert constants.PAPER_VALIDATION_V0 not in constants.PAPER_TRAINING_V0
+    assert constants.PAPER_VALIDATION_VTH not in constants.PAPER_TRAINING_VTH
+
+
+def test_expected_kinetic_energy_scale_fig5():
+    """KE = L*(v0^2+vth^2)/2 matches the ~0.0415 axis of Fig. 5."""
+    ke = 0.5 * constants.TWO_STREAM_BOX_LENGTH * (
+        constants.PAPER_VALIDATION_V0**2 + constants.PAPER_VALIDATION_VTH**2
+    )
+    assert 0.040 < ke < 0.043
+
+
+def test_expected_kinetic_energy_scale_fig6():
+    """KE = L*v0^2/2 matches the ~0.164 axis of Fig. 6."""
+    ke = 0.5 * constants.TWO_STREAM_BOX_LENGTH * constants.PAPER_COLDBEAM_V0**2
+    assert 0.160 < ke < 0.168

@@ -1,0 +1,109 @@
+"""1D slab domain decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.decomposition import DomainDecomposition1D
+from repro.pic.grid import Grid1D
+
+
+@pytest.fixture
+def grid() -> Grid1D:
+    return Grid1D(16, 4.0)
+
+
+class TestCellBounds:
+    def test_even_split(self, grid):
+        decomp = DomainDecomposition1D(grid, 4)
+        assert [decomp.cell_bounds(r) for r in range(4)] == [
+            (0, 4), (4, 8), (8, 12), (12, 16)
+        ]
+
+    def test_uneven_split_distributes_remainder_first(self):
+        decomp = DomainDecomposition1D(Grid1D(10, 1.0), 3)
+        bounds = [decomp.cell_bounds(r) for r in range(3)]
+        assert bounds == [(0, 4), (4, 7), (7, 10)]
+
+    def test_bounds_cover_grid_exactly(self, grid):
+        for n_ranks in (1, 2, 3, 5, 16):
+            decomp = DomainDecomposition1D(grid, n_ranks)
+            cells = []
+            for r in range(n_ranks):
+                start, stop = decomp.cell_bounds(r)
+                cells.extend(range(start, stop))
+            assert cells == list(range(16))
+
+    def test_x_bounds(self, grid):
+        decomp = DomainDecomposition1D(grid, 4)
+        assert decomp.x_bounds(1) == (1.0, 2.0)
+
+    def test_n_local_cells(self):
+        decomp = DomainDecomposition1D(Grid1D(10, 1.0), 3)
+        assert [decomp.n_local_cells(r) for r in range(3)] == [4, 3, 3]
+
+    def test_too_many_ranks_rejected(self, grid):
+        with pytest.raises(ValueError):
+            DomainDecomposition1D(grid, 17)
+
+    def test_invalid_rank_queried(self, grid):
+        decomp = DomainDecomposition1D(grid, 2)
+        with pytest.raises(ValueError):
+            decomp.cell_bounds(2)
+
+
+class TestOwnership:
+    def test_owner_matches_x_bounds(self, grid):
+        decomp = DomainDecomposition1D(grid, 4)
+        x = np.array([0.1, 1.5, 2.5, 3.9])
+        np.testing.assert_array_equal(decomp.owner_of(x), [0, 1, 2, 3])
+
+    def test_owner_wraps_positions(self, grid):
+        decomp = DomainDecomposition1D(grid, 4)
+        assert decomp.owner_of(np.array([4.1]))[0] == 0
+        assert decomp.owner_of(np.array([-0.1]))[0] == 3
+
+    def test_boundary_position_belongs_to_right_slab(self, grid):
+        decomp = DomainDecomposition1D(grid, 4)
+        assert decomp.owner_of(np.array([1.0]))[0] == 1
+
+    def test_all_owners_valid(self, grid):
+        decomp = DomainDecomposition1D(grid, 5)
+        rng = np.random.default_rng(0)
+        owners = decomp.owner_of(rng.uniform(-10, 10, 500))
+        assert np.all((owners >= 0) & (owners < 5))
+
+    def test_single_rank_owns_everything(self, grid):
+        decomp = DomainDecomposition1D(grid, 1)
+        owners = decomp.owner_of(np.linspace(0, 3.99, 20))
+        np.testing.assert_array_equal(owners, 0)
+
+
+class TestPartition:
+    def test_partition_preserves_all_particles(self, grid):
+        decomp = DomainDecomposition1D(grid, 3)
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 4, 200)
+        parts = decomp.partition(x)
+        total = sum(p[0].shape[0] for p in parts)
+        assert total == 200
+
+    def test_partition_carries_parallel_arrays(self, grid):
+        decomp = DomainDecomposition1D(grid, 2)
+        x = np.array([0.5, 3.5, 1.0, 2.5])
+        v = np.array([10.0, 20.0, 30.0, 40.0])
+        parts = decomp.partition(x, v)
+        np.testing.assert_array_equal(parts[0][1], [10.0, 30.0])
+        np.testing.assert_array_equal(parts[1][1], [20.0, 40.0])
+
+    def test_partitioned_particles_inside_their_slab(self, grid):
+        decomp = DomainDecomposition1D(grid, 4)
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 4, 300)
+        for rank, (xr,) in enumerate(decomp.partition(x)):
+            lo, hi = decomp.x_bounds(rank)
+            assert np.all((xr >= lo) & (xr < hi))
+
+    def test_local_slice(self, grid):
+        decomp = DomainDecomposition1D(grid, 4)
+        field = np.arange(16.0)
+        np.testing.assert_array_equal(field[decomp.local_slice(2)], np.arange(8.0, 12.0))

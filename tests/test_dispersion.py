@@ -1,0 +1,119 @@
+"""Two-stream linear theory."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.theory.dispersion import (
+    dispersion_residual,
+    growth_rate_cold,
+    growth_rate_curve,
+    max_growth_rate,
+    most_unstable_k,
+    solve_dispersion,
+    stability_threshold_k,
+)
+
+
+class TestClosedForm:
+    def test_max_growth_at_sqrt_three_eighths(self):
+        v0 = 0.2
+        k_star = most_unstable_k(v0)
+        assert k_star * v0 == pytest.approx(np.sqrt(3.0 / 8.0))
+        gamma_star = growth_rate_cold(k_star, v0)
+        assert gamma_star == pytest.approx(1.0 / (2 * np.sqrt(2)), rel=1e-12)
+
+    def test_neighbors_grow_slower_than_maximum(self):
+        v0 = 0.2
+        k_star = most_unstable_k(v0)
+        g_star = growth_rate_cold(k_star, v0)
+        assert growth_rate_cold(0.9 * k_star, v0) < g_star
+        assert growth_rate_cold(1.1 * k_star, v0) < g_star
+
+    def test_stability_threshold(self):
+        v0 = 0.2
+        k_c = stability_threshold_k(v0)
+        assert k_c * v0 == pytest.approx(1.0)
+        assert growth_rate_cold(1.01 * k_c, v0) == 0.0
+        assert growth_rate_cold(0.99 * k_c, v0) > 0.0
+
+    def test_paper_box_is_maximally_unstable_for_v0_02(self):
+        """The paper's k1 = 3.06 with v0 = 0.2 hits the growth maximum."""
+        gamma = growth_rate_cold(constants.TWO_STREAM_K1, 0.2)
+        assert gamma == pytest.approx(max_growth_rate(), rel=1e-3)
+
+    def test_paper_coldbeam_case_is_stable(self):
+        """Fig. 6: v0 = 0.4 makes the fundamental stable."""
+        assert growth_rate_cold(constants.TWO_STREAM_K1, 0.4) == 0.0
+
+    def test_scaling_with_plasma_frequency(self):
+        assert growth_rate_cold(1.0, 0.5, wp=2.0) == pytest.approx(
+            2.0 * growth_rate_cold(0.5, 0.5, wp=1.0), rel=1e-12
+        )
+
+    def test_curve_vectorization(self):
+        k = np.linspace(0.5, 6.0, 20)
+        curve = growth_rate_curve(k, v0=0.2)
+        assert curve.shape == (20,)
+        assert np.all(curve >= 0)
+
+    @pytest.mark.parametrize("kwargs", [{"k": 0.0}, {"k": -1.0}, {"v0": 0.0}])
+    def test_invalid_arguments(self, kwargs):
+        defaults = {"k": 1.0, "v0": 0.2}
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            growth_rate_cold(defaults["k"], defaults["v0"])
+
+    def test_invalid_wp(self):
+        with pytest.raises(ValueError):
+            growth_rate_cold(1.0, 0.2, wp=0.0)
+
+
+class TestResidual:
+    def test_analytic_root_has_zero_residual(self):
+        k, v0 = 3.06, 0.2
+        gamma = growth_rate_cold(k, v0)
+        residual = dispersion_residual(complex(0.0, gamma), k, v0)
+        assert abs(residual) < 1e-10
+
+    def test_non_root_has_nonzero_residual(self):
+        assert abs(dispersion_residual(complex(0.5, 0.5), 3.06, 0.2)) > 1e-3
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(ValueError):
+            dispersion_residual(1.0 + 0j, 0.0, 0.2)
+
+    def test_fast_wave_branch_is_a_root_too(self):
+        """The stable oscillating branch omega^2 = a^2+1/2+sqrt(2a^2+1/4)."""
+        k, v0 = 3.06, 0.2
+        a2 = (k * v0) ** 2
+        omega = np.sqrt(a2 + 0.5 + np.sqrt(2 * a2 + 0.25))
+        assert abs(dispersion_residual(complex(omega, 0.0), k, v0)) < 1e-10
+
+
+class TestNumericalRoots:
+    def test_solver_recovers_analytic_growth_rate(self):
+        k, v0 = 3.06, 0.2
+        root = solve_dispersion(k, v0)
+        assert root.imag == pytest.approx(growth_rate_cold(k, v0), rel=1e-8)
+        assert abs(root.real) < 1e-8
+
+    def test_solver_finds_oscillating_root_when_stable(self):
+        k, v0 = 3.06, 0.4
+        root = solve_dispersion(k, v0)
+        assert abs(root.imag) < 1e-8  # no growth
+        assert abs(dispersion_residual(root, k, v0)) < 1e-8
+
+    def test_warm_correction_reduces_growth(self):
+        """Thermal pressure stabilizes: warm gamma < cold gamma."""
+        k, v0, vth = 3.06, 0.2, 0.05
+        cold = solve_dispersion(k, v0)
+        warm = solve_dispersion(k, v0, vth=vth, guess=cold)
+        assert 0 < warm.imag < cold.imag
+
+    def test_custom_guess_respected(self):
+        k, v0 = 3.06, 0.2
+        a2 = (k * v0) ** 2
+        omega_fast = np.sqrt(a2 + 0.5 + np.sqrt(2 * a2 + 0.25))
+        root = solve_dispersion(k, v0, guess=complex(omega_fast, 0.0))
+        assert root.real == pytest.approx(omega_fast, rel=1e-6)

@@ -1,0 +1,145 @@
+"""Experiment harness at the fast preset (full pipeline, tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fast_preset,
+    format_table1,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_table1,
+    train_solvers,
+)
+from repro.experiments.runs import run_pair, run_traditional
+
+
+@pytest.fixture(scope="module")
+def fast_solvers():
+    """Train the fast preset once for the whole module (seconds)."""
+    return train_solvers(fast_preset(), cache_dir=None, include_cnn=True)
+
+
+class TestPreset:
+    def test_validation_config_inherits_campaign_resolution(self):
+        p = fast_preset()
+        cfg = p.validation_config()
+        assert cfg.particles_per_cell == p.campaign.base_config.particles_per_cell
+        assert cfg.v0 == 0.2
+        assert cfg.vth == 0.025
+
+    def test_coldbeam_config(self):
+        cfg = fast_preset().coldbeam_config()
+        assert cfg.v0 == 0.4
+        assert cfg.vth == 0.0
+
+    def test_test2_parameters_unseen(self):
+        p = fast_preset()
+        assert not set(p.test2_v0) & set(p.campaign.v0_values)
+
+
+class TestPipeline:
+    def test_solvers_trained(self, fast_solvers):
+        assert fast_solvers.mlp_solver is not None
+        assert fast_solvers.cnn_solver is not None
+        assert fast_solvers.mlp_history.n_epochs == fast_preset().mlp_epochs
+
+    def test_split_sizes(self, fast_solvers):
+        p = fast_preset()
+        assert len(fast_solvers.val) == p.n_val
+        assert len(fast_solvers.test) == p.n_test
+        assert len(fast_solvers.test2) == p.n_test2
+
+    def test_normalizer_fitted_on_training_inputs(self, fast_solvers):
+        norm = fast_solvers.mlp_solver.normalizer
+        assert norm.minimum == 0.0  # histograms always contain empty bins
+        assert norm.maximum >= fast_solvers.train.inputs.max()
+
+    def test_caching_roundtrip(self, tmp_path):
+        p = fast_preset()
+        first = train_solvers(p, cache_dir=tmp_path, include_cnn=False)
+        second = train_solvers(p, cache_dir=tmp_path, include_cnn=False)
+        x = first.test.flat_inputs()[:4]
+        xn = first.mlp_solver.normalizer.transform(x)
+        np.testing.assert_allclose(
+            second.mlp_solver.model.predict(xn), first.mlp_solver.model.predict(xn)
+        )
+        np.testing.assert_array_equal(second.test.inputs, first.test.inputs)
+
+
+class TestTable1:
+    def test_rows_cover_both_networks_and_sets(self, fast_solvers):
+        rows = run_table1(fast_solvers)
+        keys = {(r.network, r.test_set) for r in rows}
+        assert keys == {("MLP", "I"), ("MLP", "II"), ("CNN", "I"), ("CNN", "II")}
+
+    def test_metrics_sane(self, fast_solvers):
+        for row in run_table1(fast_solvers):
+            assert 0 < row.mae < 1.0
+            assert row.max_error >= row.mae
+
+    def test_formatting(self, fast_solvers):
+        text = format_table1(run_table1(fast_solvers))
+        assert "MLP" in text and "CNN" in text
+        assert "Mean Absolute Error" in text
+        assert "Max Error" in text
+
+    def test_mlp_only_formatting(self, fast_solvers):
+        from repro.experiments.table1 import Table1Row
+
+        rows = [Table1Row("MLP", "I", 0.001, 0.01)]
+        text = format_table1(rows)
+        assert "-" in text  # CNN column shows placeholder
+
+
+class TestRunHelpers:
+    def test_run_traditional_outputs(self, fast_solvers):
+        cfg = fast_preset().validation_config().with_updates(n_steps=10)
+        run = run_traditional(cfg, n_steps=10)
+        assert run.series["time"].shape == (11,)
+        assert run.final_x.shape == (cfg.n_particles,)
+
+    def test_run_pair_shares_config(self, fast_solvers):
+        cfg = fast_preset().validation_config().with_updates(n_steps=5)
+        trad, dl = run_pair(cfg, fast_solvers.mlp_solver, n_steps=5)
+        assert trad.config == dl.config
+        assert trad.label != dl.label
+
+
+class TestFigures:
+    def test_fig4_structure(self, fast_solvers):
+        cfg = fast_preset().validation_config().with_updates(n_steps=60)
+        r = run_fig4(fast_solvers.mlp_solver, cfg, n_steps=60)
+        assert r.gamma_theory == pytest.approx(0.3536, rel=1e-3)
+        assert r.time.shape == r.e1_traditional.shape == r.e1_dl.shape
+        assert np.isfinite(r.fit_traditional.gamma)
+        assert np.isfinite(r.fit_dl.gamma)
+        assert "gamma" in r.summary()
+
+    def test_fig4_explicit_window(self, fast_solvers):
+        cfg = fast_preset().validation_config().with_updates(n_steps=40)
+        r = run_fig4(fast_solvers.mlp_solver, cfg, n_steps=40, fit_window=(1.0, 7.0))
+        assert r.fit_traditional.t_start == 1.0
+        assert r.fit_dl.t_end == 7.0
+
+    def test_fig5_structure(self, fast_solvers):
+        cfg = fast_preset().validation_config().with_updates(n_steps=40)
+        r = run_fig5(fast_solvers.mlp_solver, cfg, n_steps=40)
+        assert r.energy_variation_traditional < 0.05
+        # Traditional PIC conserves momentum to round-off; DL does not.
+        assert abs(r.momentum_drift_traditional) < 1e-10
+        assert r.total_energy_traditional.shape == r.time.shape
+        assert "momentum" in r.summary()
+
+    def test_fig6_structure(self, fast_solvers):
+        cfg = fast_preset().coldbeam_config().with_updates(n_steps=40)
+        r = run_fig6(fast_solvers.mlp_solver, cfg, n_steps=40)
+        assert r.metrics_traditional.max_spread >= 0
+        assert r.metrics_dl.max_spread >= 0
+        assert "cold-beam" in r.summary()
+
+    def test_fig6_rejects_warm_beams(self, fast_solvers):
+        cfg = fast_preset().validation_config()
+        with pytest.raises(ValueError, match="cold"):
+            run_fig6(fast_solvers.mlp_solver, cfg)

@@ -1,0 +1,104 @@
+"""Exponential growth-rate fitting from E1(t) series."""
+
+import numpy as np
+import pytest
+
+from repro.theory.growth import GrowthFit, fit_growth_rate
+
+
+def _synthetic_series(gamma=0.35, noise_floor=1e-4, saturation=0.1, dt=0.2, n=200, seed=0):
+    """Noise floor -> exponential growth -> saturation, like Fig. 4."""
+    t = np.arange(n) * dt
+    exp = noise_floor * np.exp(gamma * t)
+    rng = np.random.default_rng(seed)
+    noise = noise_floor * (1 + 0.1 * rng.normal(size=n))
+    return t, np.minimum(np.maximum(exp, noise), saturation)
+
+
+class TestExactRecovery:
+    def test_pure_exponential(self):
+        t = np.linspace(0, 10, 50)
+        a = 1e-3 * np.exp(0.4 * t)
+        fit = fit_growth_rate(t, a, t_start=0.0, t_end=10.0)
+        assert fit.gamma == pytest.approx(0.4, rel=1e-10)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_intercept(self):
+        t = np.linspace(0, 5, 20)
+        a = 2e-3 * np.exp(0.3 * t)
+        fit = fit_growth_rate(t, a, t_start=0.0, t_end=5.0)
+        assert np.exp(fit.intercept) == pytest.approx(2e-3, rel=1e-8)
+
+    def test_decaying_signal_gives_negative_gamma(self):
+        t = np.linspace(0, 5, 30)
+        a = 1e-2 * np.exp(-0.2 * t)
+        fit = fit_growth_rate(t, a, t_start=0.0, t_end=5.0)
+        assert fit.gamma == pytest.approx(-0.2, rel=1e-8)
+
+
+class TestAutomaticWindow:
+    def test_detects_linear_phase(self):
+        t, a = _synthetic_series()
+        fit = fit_growth_rate(t, a)
+        assert fit.gamma == pytest.approx(0.35, rel=0.1)
+        assert fit.r_squared > 0.95
+
+    def test_window_avoids_noise_floor_and_saturation(self):
+        t, a = _synthetic_series()
+        fit = fit_growth_rate(t, a)
+        # Noise floor ends around t ~ ln(3)/0.35 ~ 3.1; saturation
+        # reaches 0.1 at t ~ ln(1e3)/0.35 ~ 19.7.
+        assert fit.t_start > 1.0
+        assert fit.t_end < 22.0
+
+    def test_flat_series_falls_back_to_first_half(self):
+        t = np.linspace(0, 10, 40)
+        a = np.full(40, 1e-3)
+        fit = fit_growth_rate(t, a)
+        assert fit.gamma == pytest.approx(0.0, abs=1e-10)
+
+    def test_explicit_window_overrides(self):
+        # Exponential seeded far below the noise floor: t in [0, 4] is
+        # genuinely flat noise.
+        t = np.arange(200) * 0.2
+        rng = np.random.default_rng(0)
+        noise = 1e-3 * (1 + 0.1 * rng.normal(size=200))
+        a = np.maximum(1e-5 * np.exp(0.35 * t), noise)
+        fit = fit_growth_rate(t, a, t_start=0.0, t_end=4.0)
+        # Window restricted to the noise floor: slope near zero.
+        assert abs(fit.gamma) < 0.05
+        assert fit.t_start == 0.0
+        assert fit.t_end == 4.0
+
+
+class TestRelativeError:
+    def test_relative_error(self):
+        fit = GrowthFit(gamma=0.3, intercept=0.0, r_squared=1.0,
+                        t_start=0.0, t_end=1.0, n_points=10)
+        assert fit.relative_error(0.354) == pytest.approx(abs(0.3 - 0.354) / 0.354)
+
+    def test_zero_theory_rejected(self):
+        fit = GrowthFit(gamma=0.3, intercept=0.0, r_squared=1.0,
+                        t_start=0.0, t_end=1.0, n_points=10)
+        with pytest.raises(ValueError):
+            fit.relative_error(0.0)
+
+
+class TestValidation:
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            fit_growth_rate(np.zeros(4), np.ones(5))
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            fit_growth_rate(np.arange(3.0), np.ones(3))
+
+    def test_nonpositive_amplitudes_rejected(self):
+        with pytest.raises(ValueError):
+            fit_growth_rate(np.arange(5.0), np.array([1.0, 2.0, 0.0, 3.0, 4.0]))
+
+    def test_empty_window_rejected(self):
+        t = np.linspace(0, 10, 20)
+        a = np.exp(t)
+        with pytest.raises(ValueError, match="window"):
+            fit_growth_rate(t, a, t_start=20.0, t_end=30.0)

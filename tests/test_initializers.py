@@ -1,0 +1,60 @@
+"""Weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import (
+    get_initializer,
+    glorot_uniform,
+    he_normal,
+    zeros_init,
+)
+
+
+class TestGlorot:
+    def test_dense_limit(self):
+        w = glorot_uniform((100, 50), rng=0)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= limit)
+        assert np.abs(w).max() > 0.8 * limit  # actually fills the range
+
+    def test_conv_fan_includes_receptive_field(self):
+        w = glorot_uniform((8, 4, 3, 3), rng=1)
+        limit = np.sqrt(6.0 / (4 * 9 + 8 * 9))
+        assert np.all(np.abs(w) <= limit)
+
+    def test_roughly_zero_mean(self):
+        w = glorot_uniform((200, 200), rng=2)
+        assert abs(w.mean()) < 0.005
+
+    def test_seeded_determinism(self):
+        np.testing.assert_array_equal(glorot_uniform((5, 5), rng=7), glorot_uniform((5, 5), rng=7))
+
+    def test_unsupported_shape(self):
+        with pytest.raises(ValueError):
+            glorot_uniform((3,), rng=0)
+
+
+class TestHeNormal:
+    def test_std_matches_fan_in(self):
+        w = he_normal((1000, 100), rng=3)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.05)
+
+    def test_conv_fan_in(self):
+        w = he_normal((16, 8, 3, 3), rng=4)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / (8 * 9)), rel=0.1)
+
+
+class TestZeros:
+    def test_zeros(self):
+        np.testing.assert_array_equal(zeros_init((3, 4)), np.zeros((3, 4)))
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["glorot_uniform", "he_normal", "zeros"])
+    def test_lookup(self, name):
+        assert callable(get_initializer(name))
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown initializer"):
+            get_initializer("orthogonal")

@@ -1,0 +1,74 @@
+"""Table I metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.metrics import (
+    max_absolute_error,
+    mean_absolute_error,
+    mean_squared_error,
+    per_sample_mae,
+)
+
+
+class TestMAE:
+    def test_value(self):
+        pred = np.array([[1.0, 2.0], [3.0, 4.0]])
+        target = np.array([[1.5, 2.0], [2.0, 4.0]])
+        assert mean_absolute_error(pred, target) == pytest.approx(0.375)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(2, 8))
+        assert mean_absolute_error(a, b) == mean_absolute_error(b, a)
+
+    def test_zero_for_identical(self):
+        a = np.random.default_rng(1).normal(size=(4, 4))
+        assert mean_absolute_error(a, a) == 0.0
+
+
+class TestMaxError:
+    def test_value(self):
+        pred = np.array([[0.0, 0.1], [5.0, 0.0]])
+        target = np.zeros((2, 2))
+        assert max_absolute_error(pred, target) == 5.0
+
+    def test_max_at_least_mean(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=(2, 30))
+        assert max_absolute_error(a, b) >= mean_absolute_error(a, b)
+
+
+class TestMSE:
+    def test_value(self):
+        assert mean_squared_error(np.array([2.0]), np.array([0.0])) == 4.0
+
+
+class TestPerSample:
+    def test_per_sample_shape_and_mean(self):
+        pred = np.array([[1.0, 1.0], [0.0, 0.0]])
+        target = np.zeros((2, 2))
+        per = per_sample_mae(pred, target)
+        np.testing.assert_allclose(per, [1.0, 0.0])
+        assert per.mean() == pytest.approx(mean_absolute_error(pred, target))
+
+    def test_3d_samples(self):
+        pred = np.ones((3, 2, 2))
+        target = np.zeros((3, 2, 2))
+        np.testing.assert_allclose(per_sample_mae(pred, target), 1.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "fn", [mean_absolute_error, max_absolute_error, mean_squared_error, per_sample_mae]
+    )
+    def test_shape_mismatch(self, fn):
+        with pytest.raises(ValueError):
+            fn(np.zeros(3), np.zeros(4))
+
+    @pytest.mark.parametrize(
+        "fn", [mean_absolute_error, max_absolute_error, mean_squared_error]
+    )
+    def test_empty(self, fn):
+        with pytest.raises(ValueError):
+            fn(np.zeros(0), np.zeros(0))

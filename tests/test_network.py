@@ -1,0 +1,114 @@
+"""Sequential container: wiring, prediction, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Flatten, ReLU
+from repro.nn.network import Sequential
+
+
+@pytest.fixture
+def model() -> Sequential:
+    return Sequential([Dense(4, 8, rng=0), ReLU(), Dense(8, 2, rng=1)])
+
+
+class TestForwardBackward:
+    def test_forward_chains_layers(self, model):
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        manual = x
+        for layer in model.layers:
+            manual = layer.forward(manual)
+        np.testing.assert_allclose(model.forward(x), manual)
+
+    def test_callable(self, model):
+        x = np.zeros((1, 4))
+        np.testing.assert_allclose(model(x), model.forward(x))
+
+    def test_backward_returns_input_gradient_shape(self, model):
+        x = np.random.default_rng(1).normal(size=(5, 4))
+        y = model.forward(x)
+        grad = model.backward(np.ones_like(y))
+        assert grad.shape == x.shape
+
+    def test_add_chains(self):
+        model = Sequential().add(Dense(2, 3, rng=0)).add(ReLU())
+        assert len(model.layers) == 2
+
+    def test_non_layer_rejected(self):
+        with pytest.raises(TypeError):
+            Sequential([Dense(2, 2, rng=0), "relu"])  # type: ignore[list-item]
+
+
+class TestPredict:
+    def test_batched_predict_equals_full_forward(self, model):
+        x = np.random.default_rng(2).normal(size=(25, 4))
+        np.testing.assert_allclose(model.predict(x, batch_size=4), model.forward(x))
+
+    def test_predict_single_sample(self, model):
+        assert model.predict(np.zeros((1, 4))).shape == (1, 2)
+
+    def test_invalid_batch_size(self, model):
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((2, 4)), batch_size=0)
+
+
+class TestParameters:
+    def test_n_parameters(self, model):
+        assert model.n_parameters == (4 * 8 + 8) + (8 * 2 + 2)
+
+    def test_param_grad_pairs_order_stable(self, model):
+        pairs1 = model.param_grad_pairs()
+        pairs2 = model.param_grad_pairs()
+        for (p1, _), (p2, _) in zip(pairs1, pairs2):
+            assert p1 is p2
+
+    def test_zero_grad_clears_all(self, model):
+        x = np.ones((2, 4))
+        model.forward(x)
+        model.backward(np.ones((2, 2)))
+        model.zero_grad()
+        for _, g in model.param_grad_pairs():
+            assert np.all(g == 0)
+
+    def test_summary_mentions_layers_and_params(self, model):
+        text = model.summary()
+        assert "Dense" in text
+        assert f"{model.n_parameters:,}" in text
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, model, tmp_path):
+        x = np.random.default_rng(3).normal(size=(4, 4))
+        expected = model.forward(x)
+        path = model.save(tmp_path / "model.npz")
+        clone = Sequential([Dense(4, 8, rng=9), ReLU(), Dense(8, 2, rng=9)])
+        clone.load(path)
+        np.testing.assert_allclose(clone.forward(x), expected)
+
+    def test_state_dict_keys(self, model):
+        keys = set(model.state_dict())
+        assert keys == {"0.W", "0.b", "2.W", "2.b"}
+
+    def test_load_state_dict_shape_mismatch(self, model):
+        state = model.state_dict()
+        state = {k: v.copy() for k, v in state.items()}
+        state["0.W"] = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_missing_key(self, model):
+        state = {k: v for k, v in model.state_dict().items() if k != "0.b"}
+        with pytest.raises(ValueError, match="missing"):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_unexpected_key(self, model):
+        state = dict(model.state_dict())
+        state["9.W"] = np.zeros(2)
+        with pytest.raises(ValueError, match="unexpected"):
+            model.load_state_dict(state)
+
+    def test_load_into_wrong_architecture_fails(self, model, tmp_path):
+        path = model.save(tmp_path / "model.npz")
+        other = Sequential([Dense(4, 8, rng=0), ReLU(), Flatten(), Dense(8, 2, rng=0)])
+        with pytest.raises(ValueError):
+            other.load(path)

@@ -1,0 +1,109 @@
+"""Min-max normalization (Eq. 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phasespace.normalization import MinMaxNormalizer
+
+
+class TestFitTransform:
+    def test_eq5_formula(self):
+        data = np.array([2.0, 4.0, 6.0])
+        norm = MinMaxNormalizer().fit(data)
+        np.testing.assert_allclose(norm.transform(data), [0.0, 0.5, 1.0])
+
+    def test_fit_transform_range(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(10, 4)) * 7 + 3
+        out = MinMaxNormalizer().fit_transform(data)
+        assert out.min() == pytest.approx(0.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_global_scalar_statistics_not_per_feature(self):
+        """The paper uses the dataset-wide min/max, not per-pixel."""
+        data = np.array([[0.0, 10.0], [5.0, 5.0]])
+        norm = MinMaxNormalizer().fit(data)
+        np.testing.assert_allclose(norm.transform(data), [[0.0, 1.0], [0.5, 0.5]])
+
+    def test_transform_new_data_can_exceed_unit_interval(self):
+        norm = MinMaxNormalizer().fit(np.array([0.0, 1.0]))
+        assert norm.transform(np.array([2.0]))[0] == pytest.approx(2.0)
+
+    def test_clip_option(self):
+        norm = MinMaxNormalizer().fit(np.array([0.0, 1.0]))
+        out = norm.transform(np.array([-1.0, 2.0]), clip=True)
+        np.testing.assert_allclose(out, [0.0, 1.0])
+
+    def test_inverse_transform_roundtrip(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=50) * 11 - 4
+        norm = MinMaxNormalizer().fit(data)
+        np.testing.assert_allclose(norm.inverse_transform(norm.transform(data)), data, atol=1e-12)
+
+
+class TestErrors:
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            MinMaxNormalizer().transform(np.zeros(3))
+
+    def test_inverse_before_fit(self):
+        with pytest.raises(RuntimeError):
+            MinMaxNormalizer().inverse_transform(np.zeros(3))
+
+    def test_fit_empty(self):
+        with pytest.raises(ValueError):
+            MinMaxNormalizer().fit(np.array([]))
+
+    def test_fit_constant_data(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            MinMaxNormalizer().fit(np.full(5, 3.0))
+
+    def test_to_dict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            MinMaxNormalizer().to_dict()
+
+
+class TestPersistence:
+    def test_dict_roundtrip(self):
+        norm = MinMaxNormalizer().fit(np.array([-2.0, 8.0]))
+        clone = MinMaxNormalizer.from_dict(norm.to_dict())
+        data = np.linspace(-5, 15, 9)
+        np.testing.assert_allclose(clone.transform(data), norm.transform(data))
+
+    def test_from_dict_marks_fitted(self):
+        clone = MinMaxNormalizer.from_dict({"minimum": 0.0, "maximum": 2.0})
+        assert clone.fitted
+
+
+class TestNormalizerProperties:
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=50,
+        ).filter(lambda v: max(v) - min(v) > 1e-9)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_transform_maps_extremes_to_unit_interval(self, values):
+        data = np.asarray(values)
+        norm = MinMaxNormalizer().fit(data)
+        out = norm.transform(data)
+        assert out.min() == pytest.approx(0.0, abs=1e-9)
+        assert out.max() == pytest.approx(1.0, abs=1e-9)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=2,
+            max_size=30,
+        ).filter(lambda v: max(v) - min(v) > 1e-6)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, values):
+        data = np.asarray(values)
+        norm = MinMaxNormalizer().fit(data)
+        np.testing.assert_allclose(
+            norm.inverse_transform(norm.transform(data)), data, atol=1e-7
+        )

@@ -1,0 +1,138 @@
+"""Optimizer update rules and convergence behavior."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optimizers import SGD, Adam, RMSProp
+
+
+def _pair(value, grad):
+    return [(np.array(value, dtype=float), np.array(grad, dtype=float))]
+
+
+class TestSGD:
+    def test_plain_update(self):
+        pairs = _pair([1.0, 2.0], [0.5, -0.5])
+        SGD(lr=0.1).step(pairs)
+        np.testing.assert_allclose(pairs[0][0], [0.95, 2.05])
+
+    def test_momentum_accumulates(self):
+        opt = SGD(lr=0.1, momentum=0.9)
+        p = np.array([0.0])
+        g = np.array([1.0])
+        opt.step([(p, g)])
+        assert p[0] == pytest.approx(-0.1)
+        opt.step([(p, g)])
+        # v = -0.1*0.9 - 0.1 = -0.19
+        assert p[0] == pytest.approx(-0.29)
+
+    def test_updates_in_place(self):
+        p = np.array([1.0])
+        SGD(lr=1.0).step([(p, np.array([1.0]))])
+        assert p[0] == 0.0
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.1, momentum=1.0)
+
+    def test_parameter_list_change_detected(self):
+        opt = SGD(lr=0.1, momentum=0.5)
+        opt.step(_pair([1.0], [1.0]))
+        with pytest.raises(ValueError):
+            opt.step(_pair([1.0], [1.0]) + _pair([2.0], [1.0]))
+
+
+class TestAdam:
+    def test_first_step_has_magnitude_lr(self):
+        """With bias correction, |step 1| ~= lr regardless of grad scale."""
+        for scale in (1e-4, 1.0, 1e4):
+            p = np.array([0.0])
+            Adam(lr=0.01).step([(p, np.array([scale]))])
+            assert p[0] == pytest.approx(-0.01, rel=1e-3)
+
+    def test_step_direction_opposes_gradient(self):
+        p = np.array([0.0, 0.0])
+        Adam(lr=0.1).step([(p, np.array([1.0, -1.0]))])
+        assert p[0] < 0 < p[1]
+
+    def test_matches_reference_implementation(self):
+        """Two steps compared against the canonical Kingma-Ba equations."""
+        lr, b1, b2, eps = 0.1, 0.9, 0.999, 1e-8
+        grads = [np.array([0.3]), np.array([-0.2])]
+        p = np.array([1.0])
+        opt = Adam(lr=lr, beta1=b1, beta2=b2, eps=eps)
+
+        p_ref, m, v = 1.0, 0.0, 0.0
+        for t, g in enumerate(grads, start=1):
+            m = b1 * m + (1 - b1) * g[0]
+            v = b2 * v + (1 - b2) * g[0] ** 2
+            m_hat = m / (1 - b1**t)
+            v_hat = v / (1 - b2**t)
+            p_ref -= lr * m_hat / (np.sqrt(v_hat) + eps)
+            opt.step([(p, g.copy())])
+        assert p[0] == pytest.approx(p_ref, rel=1e-12)
+
+    def test_converges_on_quadratic(self):
+        p = np.array([5.0, -3.0])
+        opt = Adam(lr=0.1)
+        for _ in range(500):
+            opt.step([(p, 2 * p)])  # grad of |p|^2
+        np.testing.assert_allclose(p, 0.0, atol=1e-3)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta2=-0.1)
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            Adam(eps=0.0)
+
+    def test_state_mismatch_detected(self):
+        opt = Adam()
+        opt.step(_pair([1.0], [1.0]))
+        with pytest.raises(ValueError):
+            opt.step(_pair([1.0], [1.0]) + _pair([2.0], [1.0]))
+
+
+class TestRMSProp:
+    def test_first_step(self):
+        p = np.array([0.0])
+        RMSProp(lr=0.1, rho=0.9).step([(p, np.array([2.0]))])
+        # cache = 0.1*4 = 0.4; step = -0.1*2/sqrt(0.4)
+        assert p[0] == pytest.approx(-0.1 * 2.0 / (np.sqrt(0.4) + 1e-8))
+
+    def test_converges_on_quadratic(self):
+        p = np.array([4.0])
+        opt = RMSProp(lr=0.05)
+        for _ in range(800):
+            opt.step([(p, 2 * p)])
+        # RMSProp with fixed lr settles into a small limit cycle around
+        # the minimum rather than converging exactly.
+        assert abs(p[0]) < 0.05
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError):
+            RMSProp(rho=1.5)
+
+
+class TestOptimizerOnModel:
+    @pytest.mark.parametrize("opt", [SGD(lr=0.05, momentum=0.9), Adam(lr=0.01), RMSProp(lr=0.005)])
+    def test_reduces_loss_on_regression_task(self, opt):
+        from repro.nn.layers import Dense, ReLU
+        from repro.nn.losses import MSELoss
+        from repro.nn.network import Sequential
+        from repro.nn.training import Trainer
+
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(128, 3))
+        y = x @ rng.normal(size=(3, 2))
+        model = Sequential([Dense(3, 16, rng=1), ReLU(), Dense(16, 2, rng=2)])
+        trainer = Trainer(model, MSELoss(), opt)
+        history = trainer.fit(x, y, epochs=30, batch_size=32, rng=3)
+        assert history.loss[-1] < 0.2 * history.loss[0]

@@ -1,0 +1,113 @@
+"""Simulated communicator: collective semantics and byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.comm import CommStats, SimulatedComm
+
+
+class TestCollectives:
+    def test_allreduce_sums(self):
+        comm = SimulatedComm(3)
+        out = comm.allreduce([np.ones(4), 2 * np.ones(4), 3 * np.ones(4)])
+        assert len(out) == 3
+        for buf in out:
+            np.testing.assert_allclose(buf, 6.0)
+
+    def test_allreduce_buffers_independent(self):
+        comm = SimulatedComm(2)
+        out = comm.allreduce([np.ones(2), np.ones(2)])
+        out[0][0] = 99.0
+        assert out[1][0] == 2.0
+
+    def test_allgather_concatenates(self):
+        comm = SimulatedComm(2)
+        out = comm.allgather([np.array([1.0, 2.0]), np.array([3.0])])
+        np.testing.assert_array_equal(out[0], [1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(out[1], [1.0, 2.0, 3.0])
+
+    def test_reduce_to_root(self):
+        comm = SimulatedComm(2)
+        total = comm.reduce([np.ones(3), 4 * np.ones(3)])
+        np.testing.assert_allclose(total, 5.0)
+
+    def test_gather(self):
+        comm = SimulatedComm(2)
+        out = comm.gather([np.array([1.0]), np.array([2.0])], root=0)
+        assert len(out) == 2
+        np.testing.assert_array_equal(out[1], [2.0])
+
+    def test_bcast_replicates(self):
+        comm = SimulatedComm(3)
+        out = comm.bcast(np.array([7.0, 8.0]))
+        assert len(out) == 3
+        for buf in out:
+            np.testing.assert_array_equal(buf, [7.0, 8.0])
+
+    def test_sendrecv_copies(self):
+        comm = SimulatedComm(2)
+        msg = np.array([1.0])
+        out = comm.sendrecv(msg)
+        out[0] = 5.0
+        assert msg[0] == 1.0
+
+    def test_wrong_buffer_count_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedComm(3).allreduce([np.ones(2)])
+
+    def test_bad_root_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedComm(2).bcast(np.ones(1), root=5)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            SimulatedComm(0)
+
+
+class TestByteAccounting:
+    def test_allreduce_bytes(self):
+        comm = SimulatedComm(4)
+        comm.allreduce([np.zeros(10) for _ in range(4)])
+        assert comm.stats.bytes_by_op["allreduce"] == 10 * 8 * 4
+
+    def test_reduce_counts_non_root_only(self):
+        comm = SimulatedComm(4)
+        comm.reduce([np.zeros(10) for _ in range(4)], root=0)
+        assert comm.stats.bytes_by_op["reduce"] == 10 * 8 * 3
+
+    def test_bcast_counts_non_root_only(self):
+        comm = SimulatedComm(4)
+        comm.bcast(np.zeros(16))
+        assert comm.stats.bytes_by_op["bcast"] == 16 * 8 * 3
+
+    def test_allgather_bytes(self):
+        comm = SimulatedComm(3)
+        comm.allgather([np.zeros(5) for _ in range(3)])
+        assert comm.stats.bytes_by_op["allgather"] == 15 * 8 * 2
+
+    def test_single_rank_is_free(self):
+        comm = SimulatedComm(1)
+        comm.allreduce([np.zeros(100)])
+        comm.bcast(np.zeros(100))
+        comm.sendrecv(np.zeros(100))
+        assert comm.stats.total_bytes == 0
+
+    def test_call_counting_and_totals(self):
+        comm = SimulatedComm(2)
+        comm.allreduce([np.zeros(2), np.zeros(2)])
+        comm.allreduce([np.zeros(2), np.zeros(2)])
+        comm.bcast(np.zeros(2))
+        assert comm.stats.calls_by_op["allreduce"] == 2
+        assert comm.stats.total_calls == 3
+        assert comm.stats.total_bytes == 2 * (2 * 8 * 2) + 2 * 8
+
+    def test_reset(self):
+        comm = SimulatedComm(2)
+        comm.bcast(np.zeros(4))
+        comm.stats.reset()
+        assert comm.stats.total_bytes == 0
+        assert comm.stats.total_calls == 0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            CommStats().charge("x", -1)

@@ -1,0 +1,143 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pic.diagnostics import mode_amplitude, mode_spectrum
+from repro.pic.grid import Grid1D
+from repro.pic.interpolation import deposit, gather
+from repro.pic.poisson import solve_poisson_fd, solve_poisson_spectral
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, min_value=-1e3, max_value=1e3)
+
+
+class TestPoissonProperties:
+    @given(
+        seed=st.integers(0, 2**16),
+        n=st.sampled_from([8, 16, 32, 64]),
+        solver=st.sampled_from([solve_poisson_spectral, solve_poisson_fd]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_potential_always_zero_mean(self, seed, n, solver):
+        grid = Grid1D(n, 2.0)
+        rho = np.random.default_rng(seed).normal(size=n)
+        phi = solver(grid, rho)
+        assert abs(phi.mean()) < 1e-9
+
+    @given(seed=st.integers(0, 2**16), shift=st.integers(0, 63))
+    @settings(max_examples=30, deadline=None)
+    def test_translation_equivariance(self, seed, shift):
+        """Rolling rho rolls phi: the solver is translation invariant."""
+        grid = Grid1D(64, 2.0)
+        rho = np.random.default_rng(seed).normal(size=64)
+        phi = solve_poisson_spectral(grid, rho)
+        phi_shifted = solve_poisson_spectral(grid, np.roll(rho, shift))
+        np.testing.assert_allclose(phi_shifted, np.roll(phi, shift), atol=1e-9)
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_parity_symmetry(self, seed):
+        """Mirroring rho mirrors phi (even operator)."""
+        grid = Grid1D(32, 1.0)
+        rho = np.random.default_rng(seed).normal(size=32)
+        mirrored = rho[::-1].copy()
+        phi = solve_poisson_fd(grid, rho)
+        phi_m = solve_poisson_fd(grid, mirrored)
+        np.testing.assert_allclose(phi_m, phi[::-1], atol=1e-9)
+
+
+class TestGatherDepositProperties:
+    @given(
+        seed=st.integers(0, 2**16),
+        order=st.sampled_from(["ngp", "cic", "tsc"]),
+        n_particles=st.integers(1, 120),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_adjointness_property(self, seed, order, n_particles):
+        grid = Grid1D(16, 3.0)
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, grid.length, n_particles)
+        w = rng.normal(size=n_particles)
+        field = rng.normal(size=grid.n_cells)
+        lhs = np.sum(w * gather(grid, field, x, order=order))
+        rhs = grid.dx * np.sum(field * deposit(grid, x, w, order=order))
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-9)
+
+    @given(seed=st.integers(0, 2**16), order=st.sampled_from(["ngp", "cic", "tsc"]))
+    @settings(max_examples=40, deadline=None)
+    def test_gather_bounded_by_field_extrema(self, seed, order):
+        """Interpolation never overshoots (shape functions are convex)."""
+        grid = Grid1D(16, 3.0)
+        rng = np.random.default_rng(seed)
+        field = rng.normal(size=grid.n_cells)
+        x = rng.uniform(0, grid.length, 50)
+        values = gather(grid, field, x, order=order)
+        assert values.max() <= field.max() + 1e-12
+        assert values.min() >= field.min() - 1e-12
+
+
+class TestSpectrumProperties:
+    @given(seed=st.integers(0, 2**16), n=st.sampled_from([16, 32, 64]))
+    @settings(max_examples=30, deadline=None)
+    def test_reconstruction_from_spectrum_bounds_signal(self, seed, n):
+        """max|e| <= sum of mode amplitudes (triangle inequality)."""
+        e = np.random.default_rng(seed).normal(size=n)
+        spectrum = mode_spectrum(e)
+        assert np.abs(e).max() <= spectrum.sum() + 1e-9
+
+    @given(
+        amplitude=st.floats(min_value=1e-6, max_value=1e3),
+        mode=st.integers(1, 7),
+        phase=st.floats(min_value=0, max_value=2 * np.pi),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_amplitude_recovery_any_phase(self, amplitude, mode, phase):
+        n = 32
+        x = 2 * np.pi * np.arange(n) / n
+        e = amplitude * np.sin(mode * x + phase)
+        assert mode_amplitude(e, mode=mode) == pytest.approx(amplitude, rel=1e-9)
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_parseval_energy_identity(self, seed):
+        """sum(e^2)/n equals the spectral energy of the amplitudes."""
+        n = 64
+        e = np.random.default_rng(seed).normal(size=n)
+        spec = mode_spectrum(e)
+        spectral_energy = spec[0] ** 2 + 0.5 * np.sum(spec[1:-1] ** 2) + spec[-1] ** 2
+        assert np.sum(e**2) / n == pytest.approx(spectral_energy, rel=1e-9)
+
+
+class TestSimulationProperties:
+    @given(seed=st.integers(0, 1000), interp=st.sampled_from(["ngp", "cic", "tsc"]))
+    @settings(max_examples=10, deadline=None)
+    def test_short_run_invariants(self, seed, interp):
+        """Any seeded short run keeps particles in the box, conserves the
+        particle count and keeps energy finite."""
+        from repro.config import SimulationConfig
+        from repro.pic.simulation import TraditionalPIC
+
+        cfg = SimulationConfig(
+            n_cells=16, particles_per_cell=20, n_steps=5, vth=0.01,
+            interpolation=interp, seed=seed,
+        )
+        sim = TraditionalPIC(cfg)
+        hist = sim.run(5)
+        assert len(sim.particles) == cfg.n_particles
+        assert np.all((sim.particles.x >= 0) & (sim.particles.x < cfg.box_length))
+        assert np.all(np.isfinite(hist.as_arrays()["total"]))
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_momentum_conservation_property(self, seed):
+        from repro.config import SimulationConfig
+        from repro.pic.simulation import TraditionalPIC
+
+        cfg = SimulationConfig(
+            n_cells=16, particles_per_cell=30, n_steps=8, vth=0.02, seed=seed
+        )
+        hist = TraditionalPIC(cfg).run(8)
+        mom = np.asarray(hist.momentum)
+        assert np.max(np.abs(mom - mom[0])) < 1e-12
