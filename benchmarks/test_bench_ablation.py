@@ -24,6 +24,8 @@ from repro.nn.training import Trainer
 from repro.phasespace.binning import PhaseSpaceGrid
 from repro.phasespace.normalization import MinMaxNormalizer
 
+pytestmark = pytest.mark.slow  # needs the medium-preset trained solvers (~15 min cold)
+
 
 def _train_mlp_on(data, hidden, epochs=25, lr=1e-3, seed=0):
     """Train a small MLP on a dataset; return its held-out MAE."""

@@ -21,6 +21,10 @@ from repro.parallel.picparallel import (
     run_distributed_traditional,
 )
 
+import pytest
+
+pytestmark = pytest.mark.slow  # needs the medium-preset trained solvers (~15 min cold)
+
 
 def test_comm_volume_sweep(solvers, results_dir, benchmark):
     """Closed-form sweep over rank counts (matches the simulated runs)."""

@@ -11,6 +11,10 @@ from conftest import dump_result
 
 from repro.experiments import run_fig4
 
+import pytest
+
+pytestmark = pytest.mark.slow  # needs the medium-preset trained solvers (~15 min cold)
+
 
 def test_fig4_growth_rate(solvers, results_dir, benchmark):
     config = solvers.preset.validation_config()

@@ -14,6 +14,10 @@ from conftest import dump_result
 
 from repro.experiments import run_fig5
 
+import pytest
+
+pytestmark = pytest.mark.slow  # needs the medium-preset trained solvers (~15 min cold)
+
 
 def test_fig5_conservation(solvers, results_dir, benchmark):
     config = solvers.preset.validation_config()

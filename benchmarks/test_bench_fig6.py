@@ -22,6 +22,10 @@ from conftest import dump_result
 from repro.experiments import run_fig6
 from repro.theory.dispersion import growth_rate_cold
 
+import pytest
+
+pytestmark = pytest.mark.slow  # needs the medium-preset trained solvers (~15 min cold)
+
 
 def test_fig6_coldbeam(solvers, results_dir, benchmark):
     config = solvers.preset.coldbeam_config()

@@ -19,6 +19,8 @@ from repro.pic.poisson import (
 )
 from repro.pic.simulation import ChargeDepositionFieldSolver, TraditionalPIC
 
+pytestmark = pytest.mark.slow  # needs the medium-preset trained solvers (~15 min cold)
+
 
 @pytest.fixture(scope="module")
 def particle_state(solvers):

@@ -20,6 +20,10 @@ from repro.pic.simulation import TraditionalPIC
 from repro.theory.dispersion import growth_rate_cold
 from repro.theory.growth import fit_growth_rate
 
+import pytest
+
+pytestmark = pytest.mark.slow  # needs the medium-preset trained solvers (~15 min cold)
+
 
 def test_scheme_conservation_triangle(solvers, results_dir, benchmark):
     config = solvers.preset.validation_config()

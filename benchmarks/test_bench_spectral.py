@@ -13,6 +13,10 @@ from conftest import dump_result
 
 from repro.theory.spectral import solver_error_spectrum
 
+import pytest
+
+pytestmark = pytest.mark.slow  # needs the medium-preset trained solvers (~15 min cold)
+
 
 def test_error_spectrum(solvers, results_dir, benchmark):
     spec = benchmark.pedantic(

@@ -17,6 +17,10 @@ from conftest import dump_result
 
 from repro.experiments import format_table1, run_table1
 
+import pytest
+
+pytestmark = pytest.mark.slow  # needs the medium-preset trained solvers (~15 min cold)
+
 
 def test_table1(solvers, results_dir, benchmark):
     rows = benchmark.pedantic(run_table1, args=(solvers,), rounds=1, iterations=1)

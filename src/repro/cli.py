@@ -1,8 +1,9 @@
 """Command-line interface.
 
-Four subcommands mirror the library's main workflows::
+Five subcommands mirror the library's main workflows::
 
     python -m repro.cli simulate   # run a traditional PIC two-stream sim
+    python -m repro.cli sweep      # run a batched ensemble of scenarios
     python -m repro.cli dataset    # generate a training campaign
     python -m repro.cli train      # train the DL solvers (Sec. IV pipeline)
     python -m repro.cli reproduce  # regenerate a paper table/figure
@@ -33,6 +34,45 @@ def _add_simulate(sub: "argparse._SubParsersAction") -> None:
     p.add_argument("--interpolation", choices=["ngp", "cic", "tsc"], default="cic")
     p.add_argument("--poisson", choices=["spectral", "fd", "direct"], default="spectral")
     p.add_argument("--out", default=None, help="save the history to this .npz")
+
+
+def _parse_floats(text: str) -> list[float]:
+    """Parse a comma-separated list of floats (CLI sweep axes)."""
+    try:
+        values = [float(part) for part in text.split(",") if part.strip() != ""]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated floats, got {text!r}")
+    if not values:
+        raise argparse.ArgumentTypeError(f"expected at least one value, got {text!r}")
+    return values
+
+
+def _add_sweep(sub: "argparse._SubParsersAction") -> None:
+    p = sub.add_parser(
+        "sweep",
+        help="run a batched ensemble sweep over scenarios, beam parameters and seeds",
+        description=(
+            "Cross comma-separated --v0/--vth value lists with --runs seeds per "
+            "combination and advance every run at once through the batched "
+            "ensemble PIC engine."
+        ),
+    )
+    p.add_argument("--scenario", default="two_stream",
+                   help="registered scenario name (see repro.pic.scenarios)")
+    p.add_argument("--v0", type=_parse_floats, default=[0.2],
+                   help="comma-separated beam drift speeds")
+    p.add_argument("--vth", type=_parse_floats, default=[0.025],
+                   help="comma-separated thermal spreads")
+    p.add_argument("--runs", type=int, default=4,
+                   help="seeded runs per (v0, vth) combination")
+    p.add_argument("--cells", type=int, default=64)
+    p.add_argument("--ppc", type=int, default=200, help="particles per cell")
+    p.add_argument("--steps", type=int, default=200)
+    p.add_argument("--dt", type=float, default=0.2)
+    p.add_argument("--seed", type=int, default=0, help="base seed (run b uses seed+b)")
+    p.add_argument("--interpolation", choices=["ngp", "cic", "tsc"], default="cic")
+    p.add_argument("--poisson", choices=["spectral", "fd", "direct"], default="spectral")
+    p.add_argument("--out", default=None, help="save the batched histories to this .npz")
 
 
 def _add_dataset(sub: "argparse._SubParsersAction") -> None:
@@ -66,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     _add_simulate(sub)
+    _add_sweep(sub)
     _add_dataset(sub)
     _add_train(sub)
     _add_reproduce(sub)
@@ -99,6 +140,53 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.out:
         save_npz_dict(args.out, dict(series))
         print(f"history saved to {args.out}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.config import SimulationConfig
+    from repro.pic.scenarios import available_scenarios
+    from repro.pic.simulation import EnsembleSimulation
+    from repro.utils.io import save_npz_dict
+
+    if args.runs < 1:
+        print(f"error: --runs must be >= 1, got {args.runs}", file=sys.stderr)
+        return 2
+    if args.scenario not in available_scenarios():
+        print(
+            f"error: unknown scenario {args.scenario!r}; "
+            f"available: {', '.join(available_scenarios())}",
+            file=sys.stderr,
+        )
+        return 2
+    base = SimulationConfig(
+        n_cells=args.cells, particles_per_cell=args.ppc, n_steps=args.steps,
+        dt=args.dt, scenario=args.scenario,
+        interpolation=args.interpolation, poisson_solver=args.poisson,
+    )
+    configs = [
+        base.with_updates(v0=v0, vth=vth, seed=args.seed + rep)
+        for v0 in args.v0
+        for vth in args.vth
+        for rep in range(args.runs)
+    ]
+    sim = EnsembleSimulation(configs)
+    print(f"sweeping {sim.batch} runs of scenario {args.scenario!r} "
+          f"({args.steps} steps, {base.n_particles} particles each)...")
+    history = sim.run(args.steps)
+    series = history.as_arrays()
+    energy_var = history.energy_variation()
+    print(f"{'v0':>7} {'vth':>7} {'seed':>6} {'max E1':>10} {'dE/E':>8}")
+    for b, cfg in enumerate(sim.configs):
+        print(f"{cfg.v0:>7.3f} {cfg.vth:>7.3f} {cfg.seed:>6d} "
+              f"{series['mode1'][:, b].max():>10.2e} {energy_var[b]:>8.2%}")
+    if args.out:
+        payload = dict(series)
+        payload["v0"] = np.array([cfg.v0 for cfg in sim.configs])
+        payload["vth"] = np.array([cfg.vth for cfg in sim.configs])
+        payload["seed"] = np.array([float(cfg.seed) for cfg in sim.configs])
+        save_npz_dict(args.out, payload)
+        print(f"histories saved to {args.out}")
     return 0
 
 
@@ -173,6 +261,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "simulate": _cmd_simulate,
+    "sweep": _cmd_sweep,
     "dataset": _cmd_dataset,
     "train": _cmd_train,
     "reproduce": _cmd_reproduce,

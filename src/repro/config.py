@@ -57,6 +57,13 @@ class SimulationConfig:
         Mode number of the seeded perturbation.
     seed:
         RNG seed for particle loading.
+    scenario:
+        Name of the registered initial-condition scenario to load
+        (``repro.pic.scenarios``): ``"two_stream"`` (the paper's
+        setup, the default), ``"cold_beam"``, ``"landau_damping"``,
+        ``"bump_on_tail"`` or ``"random_perturbation"``.  Membership is
+        validated against the registry at load time so user-registered
+        scenarios round-trip through the config unhindered.
     """
 
     box_length: float = constants.TWO_STREAM_BOX_LENGTH
@@ -74,6 +81,7 @@ class SimulationConfig:
     perturbation: float = 0.0
     perturbation_mode: int = 1
     seed: int = 0
+    scenario: str = "two_stream"
     extra: dict[str, Any] = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
@@ -97,6 +105,8 @@ class SimulationConfig:
             raise ValueError(f"unknown gradient {self.gradient!r}")
         if self.loading not in ("random", "quiet"):
             raise ValueError(f"unknown loading {self.loading!r}")
+        if not isinstance(self.scenario, str) or not self.scenario:
+            raise ValueError(f"scenario must be a non-empty string, got {self.scenario!r}")
 
     @property
     def n_particles(self) -> int:

@@ -3,6 +3,7 @@
 from repro.datagen.dataset import FieldDataset
 from repro.datagen.campaign import (
     CampaignConfig,
+    harvest_ensemble,
     harvest_simulation,
     run_campaign,
     run_test_set_ii,
@@ -12,6 +13,7 @@ from repro.datagen.presets import fast_campaign, medium_campaign, paper_campaign
 __all__ = [
     "FieldDataset",
     "CampaignConfig",
+    "harvest_ensemble",
     "harvest_simulation",
     "run_campaign",
     "run_test_set_ii",

@@ -11,13 +11,21 @@ from repro.pic.interpolation import deposit, gather
 from repro.pic.poisson import PoissonSolver, electric_field_from_potential
 from repro.pic.mover import push_positions, push_velocities
 from repro.pic.diagnostics import (
+    EnsembleHistory,
     History,
     field_energy,
     kinetic_energy,
     mode_amplitude,
     total_momentum,
 )
-from repro.pic.simulation import TraditionalPIC
+from repro.pic.scenarios import (
+    available_scenarios,
+    get_scenario,
+    load_ensemble,
+    load_scenario,
+    register_scenario,
+)
+from repro.pic.simulation import EnsembleSimulation, PICSimulation, TraditionalPIC
 from repro.pic.energy_conserving import EnergyConservingPIC
 
 __all__ = [
@@ -31,10 +39,18 @@ __all__ = [
     "push_positions",
     "push_velocities",
     "History",
+    "EnsembleHistory",
     "field_energy",
     "kinetic_energy",
     "mode_amplitude",
     "total_momentum",
+    "available_scenarios",
+    "get_scenario",
+    "load_ensemble",
+    "load_scenario",
+    "register_scenario",
+    "PICSimulation",
+    "EnsembleSimulation",
     "TraditionalPIC",
     "EnergyConservingPIC",
 ]

@@ -56,6 +56,51 @@ def mode_amplitude(e: np.ndarray, mode: int = 1) -> float:
     return float(2.0 * abs(coeff) / n)
 
 
+def kinetic_energy_rows(particles: ParticleSet, v: "np.ndarray | None" = None) -> np.ndarray:
+    """Per-run kinetic energy of a (possibly batched) particle set.
+
+    Returns shape ``(batch,)``; for a 1-D set this is ``(1,)`` and the
+    single entry is bitwise equal to :func:`kinetic_energy`.
+    """
+    vel = np.atleast_2d(particles.v if v is None else v)
+    return 0.5 * particles.mass * np.sum(vel * vel, axis=-1)
+
+
+def field_energy_rows(
+    grid: Grid1D, e: np.ndarray, eps0: float = constants.EPSILON_0
+) -> np.ndarray:
+    """Per-run electrostatic energy of ``(batch, n_cells)`` fields."""
+    e = np.atleast_2d(np.asarray(e, dtype=np.float64))
+    if e.shape[-1] != grid.n_cells:
+        raise ValueError(f"E has shape {e.shape}, expected (batch, {grid.n_cells})")
+    return 0.5 * eps0 * np.sum(e * e, axis=-1) * grid.dx
+
+
+def total_momentum_rows(particles: ParticleSet, v: "np.ndarray | None" = None) -> np.ndarray:
+    """Per-run mechanical momentum, shape ``(batch,)``."""
+    vel = np.atleast_2d(particles.v if v is None else v)
+    return particles.mass * np.sum(vel, axis=-1)
+
+
+def mode_amplitude_rows(e: np.ndarray, mode: int = 1) -> np.ndarray:
+    """Per-run Fourier-mode amplitude of ``(batch, n_cells)`` fields.
+
+    Same normalization as :func:`mode_amplitude` (``A*sin(k_m x)``
+    returns ``A`` in every row).  The FFT is batched; the final
+    magnitude uses scalar ``abs`` per row because numpy's vectorized
+    complex abs may differ from the scalar one by an ulp, and the
+    ensemble engine promises bitwise-identical diagnostics.
+    """
+    e = np.atleast_2d(np.asarray(e, dtype=np.float64))
+    n = e.shape[-1]
+    if not 0 <= mode <= n // 2:
+        raise ValueError(f"mode {mode} out of range for {n} cells")
+    coeff = np.fft.rfft(e, axis=-1)[..., mode]
+    if mode == 0 or (n % 2 == 0 and mode == n // 2):
+        return np.array([float(abs(c)) / n for c in coeff])
+    return np.array([float(2.0 * abs(c) / n) for c in coeff])
+
+
 def mode_spectrum(e: np.ndarray) -> np.ndarray:
     """Amplitudes of all resolvable modes ``0..n//2`` (same norm)."""
     e = np.asarray(e, dtype=np.float64)
@@ -142,6 +187,91 @@ class History:
         if mom.size == 0:
             raise ValueError("history is empty")
         return float(mom[-1] - mom[0])
+
+    def __len__(self) -> int:
+        return len(self.time)
+
+
+@dataclass
+class EnsembleHistory:
+    """Per-step diagnostics of a batched ensemble run.
+
+    The same scalar series as :class:`History`, but each record is a
+    ``(batch,)`` vector — one entry per ensemble member, computed with
+    the batched reductions so recording costs one numpy call per series
+    regardless of the batch size.  ``as_arrays`` returns
+    ``(n_records, batch)`` arrays; ``member(b)`` extracts one run's
+    series in the :class:`History` layout.
+    """
+
+    record_fields: bool = False
+
+    time: list[float] = field(default_factory=list)
+    kinetic: list[np.ndarray] = field(default_factory=list)
+    potential: list[np.ndarray] = field(default_factory=list)  # field energy
+    total: list[np.ndarray] = field(default_factory=list)
+    momentum: list[np.ndarray] = field(default_factory=list)
+    mode1: list[np.ndarray] = field(default_factory=list)
+    fields: list[np.ndarray] = field(default_factory=list)
+
+    def record(
+        self,
+        step: int,
+        time: float,
+        grid: Grid1D,
+        particles: ParticleSet,
+        e: np.ndarray,
+        v_center: "np.ndarray | None" = None,
+    ) -> None:
+        """Append per-run diagnostics for the batched state at ``time``."""
+        ke = kinetic_energy_rows(particles, v=v_center)
+        fe = field_energy_rows(grid, e)
+        self.time.append(time)
+        self.kinetic.append(ke)
+        self.potential.append(fe)
+        self.total.append(ke + fe)
+        self.momentum.append(total_momentum_rows(particles, v=v_center))
+        self.mode1.append(mode_amplitude_rows(e, mode=1))
+        if self.record_fields:
+            self.fields.append(np.array(np.atleast_2d(e), copy=True))
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """Scalar series as ``(n_records, batch)`` arrays (time is 1-D)."""
+        out = {
+            "time": np.asarray(self.time),
+            "kinetic": np.asarray(self.kinetic),
+            "potential": np.asarray(self.potential),
+            "total": np.asarray(self.total),
+            "momentum": np.asarray(self.momentum),
+            "mode1": np.asarray(self.mode1),
+        }
+        if self.record_fields:
+            out["fields"] = np.asarray(self.fields)
+        return out
+
+    def member(self, b: int) -> dict[str, np.ndarray]:
+        """One ensemble member's series, keyed like ``History.as_arrays``."""
+        series = self.as_arrays()
+        out = {"time": series["time"]}
+        for key in ("kinetic", "potential", "total", "momentum", "mode1"):
+            out[key] = series[key][:, b]
+        if self.record_fields:
+            out["fields"] = series["fields"][:, b]
+        return out
+
+    def energy_variation(self) -> np.ndarray:
+        """Per-run max relative deviation of total energy, ``(batch,)``."""
+        total = np.asarray(self.total)
+        if total.size == 0:
+            raise ValueError("history is empty")
+        return np.max(np.abs(total - total[0]), axis=0) / np.abs(total[0])
+
+    def momentum_drift(self) -> np.ndarray:
+        """Per-run net momentum change over the run (signed)."""
+        mom = np.asarray(self.momentum)
+        if mom.size == 0:
+            raise ValueError("history is empty")
+        return mom[-1] - mom[0]
 
     def __len__(self) -> int:
         return len(self.time)

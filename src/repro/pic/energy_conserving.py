@@ -37,8 +37,9 @@ from repro.config import SimulationConfig
 from repro.pic.diagnostics import History
 from repro.pic.grid import Grid1D
 from repro.pic.interpolation import charge_density, deposit, gather
-from repro.pic.particles import ParticleSet, load_two_stream
+from repro.pic.particles import ParticleSet
 from repro.pic.poisson import PoissonSolver
+from repro.pic.scenarios import load_scenario
 
 
 class EnergyConservingPIC:
@@ -71,7 +72,7 @@ class EnergyConservingPIC:
         self.max_iterations = max_iterations
         self.tolerance = tolerance
         self.grid = Grid1D(config.n_cells, config.box_length)
-        self.particles: ParticleSet = load_two_stream(config, rng)
+        self.particles: ParticleSet = load_scenario(config, rng)
         # Initial field from Gauss's law; afterwards E evolves via Ampere.
         rho = charge_density(
             self.grid, self.particles.x, config.particle_charge,

@@ -16,6 +16,15 @@ All routines are fully vectorized: deposits use ``np.add.at`` on index
 arrays, gathers use fancy indexing.  Positions are assumed periodic on
 ``[0, L)``; callers should wrap positions first (``Grid1D.wrap``),
 although a single wrap is also applied defensively here.
+
+Every routine accepts either a single run — ``positions`` of shape
+``(n,)`` — or a stacked ensemble of independent runs — ``positions`` of
+shape ``(batch, n)``.  Batched deposits scatter each row into its own
+output row through offset flat indices (one ``np.add.at`` call for the
+whole ensemble); batched gathers read each row's field through the same
+flattening.  Row ``b`` of a batched result is bitwise identical to the
+corresponding single-run call, which is what lets the ensemble engine
+reproduce sequential runs exactly.
 """
 
 from __future__ import annotations
@@ -32,9 +41,45 @@ def _check_order(order: str) -> None:
         raise ValueError(f"unknown interpolation order {order!r}; expected one of {_ORDERS}")
 
 
+def _check_positions(positions: np.ndarray) -> np.ndarray:
+    """Coerce positions to float64 and reject anything but (n,) or (batch, n)."""
+    x = np.asarray(positions, dtype=np.float64)
+    if x.ndim not in (1, 2):
+        raise ValueError(
+            "positions must be a 1-D (n,) array or a 2-D batched (batch, n) "
+            f"array, got shape {x.shape}"
+        )
+    return x
+
+
+def _wrap_positions(x: np.ndarray, length: float) -> np.ndarray:
+    """Defensive periodic wrap, skipped when already in ``[0, L)``.
+
+    ``np.mod`` is an identity on in-range values, so the fast path is
+    bitwise equivalent — it just avoids a full division pass over what
+    is, in the PIC cycle, always pre-wrapped data.
+    """
+    if x.size and 0.0 <= x.min() and x.max() < length:
+        return x
+    return np.mod(x, length)
+
+
+def _wrap_indices(j: np.ndarray, n: int) -> np.ndarray:
+    """Periodic index wrap; bit-mask fast path for power-of-two grids.
+
+    Two's-complement ``j & (n - 1)`` equals ``j % n`` for every integer
+    when ``n`` is a power of two (it keeps the low bits, i.e. the value
+    modulo ``2**k``), and is roughly an order of magnitude cheaper than
+    the integer-division modulo.
+    """
+    if n & (n - 1) == 0:
+        return j & (n - 1)
+    return j % n
+
+
 def _ngp_indices(x: np.ndarray, grid: Grid1D) -> np.ndarray:
     """Index of the nearest grid node, periodic."""
-    return (np.floor(x / grid.dx + 0.5).astype(np.int64)) % grid.n_cells
+    return _wrap_indices(np.floor(x / grid.dx + 0.5).astype(np.int64), grid.n_cells)
 
 
 def _cic_indices_weights(
@@ -44,8 +89,8 @@ def _cic_indices_weights(
     s = x / grid.dx
     j = np.floor(s).astype(np.int64)
     frac = s - j
-    j_left = j % grid.n_cells
-    j_right = (j + 1) % grid.n_cells
+    j_left = _wrap_indices(j, grid.n_cells)
+    j_right = _wrap_indices(j + 1, grid.n_cells)
     return j_left, j_right, 1.0 - frac, frac
 
 
@@ -60,7 +105,14 @@ def _tsc_indices_weights(
     w_left = 0.5 * (0.5 - d) ** 2
     w_right = 0.5 * (0.5 + d) ** 2
     n = grid.n_cells
-    return (j - 1) % n, j % n, (j + 1) % n, w_left, w_center, w_right
+    return (
+        _wrap_indices(j - 1, n),
+        _wrap_indices(j, n),
+        _wrap_indices(j + 1, n),
+        w_left,
+        w_center,
+        w_right,
+    )
 
 
 def deposit(
@@ -75,24 +127,51 @@ def deposit(
     by ``dx``, so depositing particle charges yields a charge density.
     The total deposited weight is conserved exactly for every order:
     ``deposit(...).sum() * dx == weights.sum()``.
+
+    ``positions`` may be ``(n,)`` (returns ``(n_cells,)``) or a batched
+    ``(batch, n)`` stack of independent runs (returns
+    ``(batch, n_cells)``, each row deposited independently).  Any other
+    shape, or ``weights`` that do not broadcast against ``positions``,
+    raises ``ValueError``.
     """
     _check_order(order)
-    x = np.mod(np.asarray(positions, dtype=np.float64), grid.length)
-    w = np.broadcast_to(np.asarray(weights, dtype=np.float64), x.shape)
-    out = np.zeros(grid.n_cells, dtype=np.float64)
+    x = _wrap_positions(_check_positions(positions), grid.length)
+    try:
+        w = np.broadcast_to(np.asarray(weights, dtype=np.float64), x.shape)
+    except ValueError:
+        raise ValueError(
+            f"weights of shape {np.shape(weights)} do not broadcast to "
+            f"positions of shape {x.shape}"
+        ) from None
+    batched = x.ndim == 2
+    x2 = np.atleast_2d(x)
+    w2 = np.atleast_2d(w)
+    batch = x2.shape[0]
+    out = np.zeros((batch, grid.n_cells), dtype=np.float64)
+    flat = out.reshape(-1)
+    # Offset flat indices scatter every row into its own output row with
+    # a single np.add.at over the whole ensemble; the indices and weight
+    # products are raveled because ufunc.at is several times faster on
+    # 1-D operands than on 2-D ones (the accumulation order — and hence
+    # the bit pattern — is identical either way).
+    offs = (np.arange(batch, dtype=np.int64) * grid.n_cells)[:, None]
+
+    def scatter(j: np.ndarray, wj: np.ndarray) -> None:
+        np.add.at(flat, (offs + j).ravel(), wj.ravel())
+
     if order == "ngp":
-        np.add.at(out, _ngp_indices(x, grid), w)
+        scatter(_ngp_indices(x2, grid), np.ascontiguousarray(w2))
     elif order == "cic":
-        jl, jr, wl, wr = _cic_indices_weights(x, grid)
-        np.add.at(out, jl, w * wl)
-        np.add.at(out, jr, w * wr)
+        jl, jr, wl, wr = _cic_indices_weights(x2, grid)
+        scatter(jl, w2 * wl)
+        scatter(jr, w2 * wr)
     else:  # tsc
-        jl, jc, jr, wl, wc, wr = _tsc_indices_weights(x, grid)
-        np.add.at(out, jl, w * wl)
-        np.add.at(out, jc, w * wc)
-        np.add.at(out, jr, w * wr)
+        jl, jc, jr, wl, wc, wr = _tsc_indices_weights(x2, grid)
+        scatter(jl, w2 * wl)
+        scatter(jc, w2 * wc)
+        scatter(jr, w2 * wr)
     out /= grid.dx
-    return out
+    return out if batched else out[0]
 
 
 def gather(
@@ -101,19 +180,56 @@ def gather(
     positions: np.ndarray,
     order: str = "cic",
 ) -> np.ndarray:
-    """Interpolate a node-defined ``field`` to particle ``positions``."""
+    """Interpolate a node-defined ``field`` to particle ``positions``.
+
+    With 1-D positions the field must be ``(n_cells,)``.  With batched
+    ``(batch, n)`` positions the field may be ``(batch, n_cells)`` (one
+    field per run) or ``(n_cells,)`` (shared across the ensemble); the
+    result is ``(batch, n)``.
+    """
     _check_order(order)
     field = np.asarray(field, dtype=np.float64)
-    if field.shape != (grid.n_cells,):
-        raise ValueError(f"field has shape {field.shape}, expected ({grid.n_cells},)")
-    x = np.mod(np.asarray(positions, dtype=np.float64), grid.length)
+    x = _wrap_positions(_check_positions(positions), grid.length)
+    if x.ndim == 1:
+        if field.shape != (grid.n_cells,):
+            raise ValueError(f"field has shape {field.shape}, expected ({grid.n_cells},)")
+        if order == "ngp":
+            return field[_ngp_indices(x, grid)]
+        if order == "cic":
+            jl, jr, wl, wr = _cic_indices_weights(x, grid)
+            return field[jl] * wl + field[jr] * wr
+        jl, jc, jr, wl, wc, wr = _tsc_indices_weights(x, grid)
+        return field[jl] * wl + field[jc] * wc + field[jr] * wr
+
+    batch = x.shape[0]
+    if field.ndim == 1 and field.shape == (grid.n_cells,):
+        # Field shared across the ensemble: plain fancy indexing with the
+        # (batch, n) index arrays reads it directly — no offsets, no copy.
+        def pick(j: np.ndarray) -> np.ndarray:
+            return field[j]
+
+    elif field.shape == (batch, grid.n_cells):
+        flat = np.ascontiguousarray(field).reshape(-1)
+        offs = (np.arange(batch, dtype=np.int64) * grid.n_cells)[:, None]
+        shape = x.shape
+
+        def pick(j: np.ndarray) -> np.ndarray:
+            # 1-D fancy indexing is measurably faster than 2-D.
+            return flat[(offs + j).ravel()].reshape(shape)
+
+    else:
+        raise ValueError(
+            f"field has shape {field.shape}, expected ({grid.n_cells},) or "
+            f"({batch}, {grid.n_cells}) for batched positions"
+        )
+
     if order == "ngp":
-        return field[_ngp_indices(x, grid)]
+        return pick(_ngp_indices(x, grid))
     if order == "cic":
         jl, jr, wl, wr = _cic_indices_weights(x, grid)
-        return field[jl] * wl + field[jr] * wr
+        return pick(jl) * wl + pick(jr) * wr
     jl, jc, jr, wl, wc, wr = _tsc_indices_weights(x, grid)
-    return field[jl] * wl + field[jc] * wc + field[jr] * wr
+    return pick(jl) * wl + pick(jc) * wc + pick(jr) * wr
 
 
 def charge_density(
@@ -127,7 +243,8 @@ def charge_density(
     background (the paper's motionless neutralizing protons).
 
     With the library's normalization (total electron charge ``-L``) the
-    mean of the returned density is zero to round-off.
+    mean of the returned density is zero to round-off.  Accepts single
+    ``(n,)`` or batched ``(batch, n)`` positions like :func:`deposit`.
     """
     rho = deposit(grid, positions, particle_charge, order=order)
     return rho + background

@@ -9,6 +9,11 @@ The paper uses the classic 1D electrostatic leapfrog (Eqs. 1-2):
 A Boris pusher (with optional magnetic field) is included as the
 standard extension point for electromagnetic problems; with ``B = 0``
 it reduces exactly to the leapfrog velocity update.
+
+All pushers are purely elementwise, so they operate unchanged on a
+single run (arrays of shape ``(n,)``) or on a stacked ensemble of
+independent runs (``(batch, n)``) — the batched update of row ``b`` is
+bitwise identical to pushing that row alone.
 """
 
 from __future__ import annotations

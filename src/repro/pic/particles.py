@@ -23,7 +23,9 @@ class ParticleSet:
     Attributes
     ----------
     x, v:
-        Arrays of shape ``(n,)``.
+        Arrays of shape ``(n,)`` for a single run, or ``(batch, n)``
+        for a stacked ensemble of independent runs sharing the same
+        macro-particle charge and mass.
     charge, mass:
         Per-macro-particle charge and mass (all particles identical).
     """
@@ -36,15 +38,22 @@ class ParticleSet:
     def __post_init__(self) -> None:
         self.x = np.asarray(self.x, dtype=np.float64)
         self.v = np.asarray(self.v, dtype=np.float64)
-        if self.x.shape != self.v.shape or self.x.ndim != 1:
+        if self.x.shape != self.v.shape or self.x.ndim not in (1, 2):
             raise ValueError(
-                f"x and v must be 1D arrays of equal length, got {self.x.shape} and {self.v.shape}"
+                "x and v must be equal-shape 1D (n,) or batched (batch, n) arrays, "
+                f"got {self.x.shape} and {self.v.shape}"
             )
         if self.mass <= 0:
             raise ValueError(f"mass must be positive, got {self.mass}")
 
     def __len__(self) -> int:
-        return self.x.shape[0]
+        """Number of macro-particles per run (the last-axis length)."""
+        return self.x.shape[-1]
+
+    @property
+    def batch(self) -> int:
+        """Number of stacked runs (1 for a plain single-run set)."""
+        return 1 if self.x.ndim == 1 else self.x.shape[0]
 
     @property
     def qm(self) -> float:

@@ -1,9 +1,18 @@
 """Electrostatic PIC orchestrators.
 
-:class:`PICSimulation` implements the computational cycle shared by the
+:class:`EnsembleSimulation` is the engine: it advances a whole batch of
+independent runs at once, every kernel of the cycle (gather, leapfrog
+push, charge deposit, Poisson solve) operating on stacked ``(batch, n)``
+arrays.  Because each batched kernel is bitwise identical per row to
+its single-run form, an ensemble of size ``B`` reproduces ``B``
+sequential runs exactly while amortizing the per-step Python and FFT
+overhead across the batch.
+
+:class:`PICSimulation` — the computational cycle shared by the
 traditional and the DL-based method (the white boxes of the paper's
-Figs. 1-2): field gather at particle positions, leapfrog push, then a
-*field computation* that is supplied by a pluggable solver object.
+Figs. 1-2) — is a thin ``batch=1`` view over the ensemble engine that
+keeps the original single-run API (1-D particle arrays, ``History``
+diagnostics, per-run pluggable ``FieldSolver``).
 
 :class:`TraditionalPIC` wires in the classic charge-deposit + Poisson
 field solve (Fig. 1); ``repro.dlpic.DLPIC`` wires in the neural solver
@@ -12,25 +21,75 @@ field solve (Fig. 1); ``repro.dlpic.DLPIC`` wires in the neural solver
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import Callable, Protocol, Sequence
 
 import numpy as np
 
 from repro.config import SimulationConfig
-from repro.pic.diagnostics import History
+from repro.pic.diagnostics import EnsembleHistory, History
 from repro.pic.grid import Grid1D
 from repro.pic.interpolation import charge_density, gather
 from repro.pic.mover import push_positions, push_velocities, rewind_velocities
-from repro.pic.particles import ParticleSet, load_two_stream
+from repro.pic.particles import ParticleSet
 from repro.pic.poisson import PoissonSolver
+from repro.pic.scenarios import load_ensemble
+
+# Config fields that must agree across every member of an ensemble (the
+# batched kernels share one grid, one time step and one charge/mass).
+STRUCTURAL_FIELDS = (
+    "box_length",
+    "n_cells",
+    "particles_per_cell",
+    "dt",
+    "qm",
+    "interpolation",
+    "poisson_solver",
+    "gradient",
+)
 
 
 class FieldSolver(Protocol):
-    """Anything that can produce ``E`` on the grid from particle data."""
+    """Anything that can produce ``E`` on the grid from particle data.
+
+    Single-run solvers receive 1-D ``(n,)`` phase-space arrays and
+    return ``(n_cells,)``.  A solver that can handle stacked
+    ``(batch, n)`` inputs natively (returning ``(batch, n_cells)``)
+    should set ``supports_batch = True``; others are lifted row by row
+    via :class:`LiftedFieldSolver` when used in an ensemble.
+    """
 
     def field(self, x: np.ndarray, v: np.ndarray) -> np.ndarray:
         """Electric field on grid nodes given the particle phase space."""
         ...
+
+
+class LiftedFieldSolver:
+    """Adapts a single-run :class:`FieldSolver` to batched inputs.
+
+    Calls the wrapped solver once per ensemble row and stacks the
+    results — no speedup, but it lets per-run solvers (e.g. the DL
+    field solver or the simulated-MPI solvers) drive an ensemble
+    unchanged, and it keeps ``batch=1`` ensembles bitwise faithful to
+    the plain single-run cycle.
+    """
+
+    supports_batch = True
+
+    def __init__(self, solver: FieldSolver) -> None:
+        self.solver = solver
+
+    def field(self, x: np.ndarray, v: np.ndarray) -> np.ndarray:
+        return np.stack(
+            [np.asarray(self.solver.field(x[b], v[b]), dtype=np.float64)
+             for b in range(x.shape[0])]
+        )
+
+
+def as_batched_solver(solver: FieldSolver) -> FieldSolver:
+    """Return ``solver`` if batch-capable, else lift it row by row."""
+    if getattr(solver, "supports_batch", False):
+        return solver
+    return LiftedFieldSolver(solver)
 
 
 class ChargeDepositionFieldSolver:
@@ -38,7 +97,12 @@ class ChargeDepositionFieldSolver:
 
     This is the right-hand loop of the paper's Fig. 1 (interpolation of
     the charge density at grid points + Poisson solve + gradient).
+    Batch-capable: with ``(batch, n)`` positions the deposit scatters
+    through offset flat indices and the Poisson solve batches its FFTs
+    along the last axis.
     """
+
+    supports_batch = True
 
     def __init__(
         self,
@@ -67,42 +131,110 @@ class ChargeDepositionFieldSolver:
         return e
 
 
-class PICSimulation:
-    """Generic explicit electrostatic PIC cycle with a pluggable field solver.
+class EnsembleSimulation:
+    """Batched explicit electrostatic PIC cycle over stacked runs.
 
-    Leapfrog time staggering: positions live at integer times ``t_n``,
-    velocities at half times ``t_{n-1/2}``.  Diagnostics are evaluated
-    at integer times using the time-centered velocity average.
+    Parameters
+    ----------
+    configs:
+        One configuration per ensemble member (or a single config for a
+        batch of one).  Members may differ in scenario, seed, beam
+        parameters, loading and perturbation, but must agree on the
+        structural fields (grid, time step, particle count,
+        interpolation and solver choices) listed in
+        ``STRUCTURAL_FIELDS``.
+    field_solver:
+        Optional field solver; defaults to the traditional batched
+        charge-deposit + Poisson solve.  Single-run solvers are lifted
+        automatically.
+    rngs:
+        Optional per-member RNG overrides (seeds or generators); by
+        default each member loads from its own ``config.seed``.
+
+    Leapfrog time staggering matches :class:`PICSimulation`: positions
+    at integer times, velocities at half times, diagnostics at integer
+    times via the time-centered velocity average.
     """
 
     def __init__(
         self,
-        config: SimulationConfig,
-        field_solver: FieldSolver,
-        rng: "int | np.random.Generator | None" = None,
+        configs: "SimulationConfig | Sequence[SimulationConfig]",
+        field_solver: "FieldSolver | None" = None,
+        rngs: "Sequence[int | np.random.Generator | None] | None" = None,
     ) -> None:
-        self.config = config
-        self.grid = Grid1D(config.n_cells, config.box_length)
-        self.field_solver = field_solver
-        self.particles: ParticleSet = load_two_stream(config, rng)
+        if isinstance(configs, SimulationConfig):
+            configs = (configs,)
+        self.configs: tuple[SimulationConfig, ...] = tuple(configs)
+        if not self.configs:
+            raise ValueError("ensemble needs at least one configuration")
+        ref = self.configs[0]
+        for i, cfg in enumerate(self.configs[1:], 1):
+            for name in STRUCTURAL_FIELDS:
+                if getattr(cfg, name) != getattr(ref, name):
+                    raise ValueError(
+                        f"ensemble member {i} differs from member 0 in structural "
+                        f"field {name!r}: {getattr(cfg, name)!r} != {getattr(ref, name)!r}"
+                    )
+        self.config = ref  # structural reference member
+        self.batch = len(self.configs)
+        self.grid = Grid1D(ref.n_cells, ref.box_length)
+        if field_solver is None:
+            field_solver = ChargeDepositionFieldSolver(
+                self.grid,
+                particle_charge=ref.particle_charge,
+                interpolation=ref.interpolation,
+                poisson_method=ref.poisson_solver,
+                gradient=ref.gradient,
+            )
+        self.field_solver = as_batched_solver(field_solver)
+        self.particles: ParticleSet = load_ensemble(self.configs, rngs)
         self.time: float = 0.0
         self.step_index: int = 0
         # Field at t=0 consistent with the initial particle state.
         self.efield: np.ndarray = np.asarray(
-            field_solver.field(self.particles.x, self.particles.v), dtype=np.float64
+            self.field_solver.field(self.particles.x, self.particles.v), dtype=np.float64
         )
+        if self.efield.shape != (self.batch, ref.n_cells):
+            raise ValueError(
+                f"field solver returned shape {self.efield.shape}, "
+                f"expected ({self.batch}, {ref.n_cells})"
+            )
         self._v_integer = self.particles.v.copy()  # v at t=0 (integer time)
         # Rewind v to t = -dt/2 for leapfrog staggering.
-        e_at_p = gather(self.grid, self.efield, self.particles.x, order=config.interpolation)
-        self.particles.v = rewind_velocities(self.particles.v, e_at_p, config.qm, config.dt)
+        e_at_p = gather(self.grid, self.efield, self.particles.x, order=ref.interpolation)
+        self.particles.v = rewind_velocities(self.particles.v, e_at_p, ref.qm, ref.dt)
+
+    @classmethod
+    def from_config(
+        cls,
+        config: SimulationConfig,
+        batch: int,
+        seeds: "Sequence[int] | None" = None,
+        field_solver: "FieldSolver | None" = None,
+    ) -> "EnsembleSimulation":
+        """Replicate ``config`` over ``batch`` members with distinct seeds.
+
+        By default member ``b`` uses ``config.seed + b``, so a batch of
+        one is seeded exactly like the single-run simulation and two
+        ensembles built from the same config are identical.
+        """
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        if seeds is None:
+            seeds = [config.seed + b for b in range(batch)]
+        if len(seeds) != batch:
+            raise ValueError(f"got {len(seeds)} seeds for batch {batch}")
+        return cls(
+            [config.with_updates(seed=int(s)) for s in seeds], field_solver=field_solver
+        )
 
     @property
     def v_at_integer_time(self) -> np.ndarray:
-        """Velocities synchronized to the current integer time."""
+        """Velocities synchronized to the current integer time, ``(batch, n)``."""
         return self._v_integer
 
     def step(self) -> None:
-        """Advance one PIC cycle (gather -> push v -> push x -> field)."""
+        """Advance every member one PIC cycle (gather -> push v -> push x -> field)."""
         cfg = self.config
         e_at_p = gather(self.grid, self.efield, self.particles.x, order=cfg.interpolation)
         v_new = push_velocities(self.particles.v, e_at_p, cfg.qm, cfg.dt)
@@ -117,6 +249,100 @@ class PICSimulation:
         # half push using the freshly computed field (diagnostics only).
         e_new_at_p = gather(self.grid, self.efield, self.particles.x, order=cfg.interpolation)
         self._v_integer = v_new + 0.5 * cfg.qm * e_new_at_p * cfg.dt
+
+    def run(
+        self,
+        n_steps: "int | None" = None,
+        history: "EnsembleHistory | None" = None,
+        callback: "Callable[[EnsembleSimulation], None] | None" = None,
+    ) -> EnsembleHistory:
+        """Run ``n_steps`` cycles, recording batched diagnostics each step.
+
+        The history includes the initial state, so it holds
+        ``n_steps + 1`` records of ``(batch,)`` vectors.  ``callback``
+        fires after every step (used by the vectorized data campaign).
+        """
+        if n_steps is None:
+            if any(cfg.n_steps != self.config.n_steps for cfg in self.configs):
+                raise ValueError(
+                    "ensemble members disagree on config.n_steps; "
+                    "pass n_steps to run() explicitly"
+                )
+            n = self.config.n_steps
+        else:
+            n = n_steps
+        if n < 0:
+            raise ValueError(f"n_steps must be non-negative, got {n}")
+        hist = history if history is not None else EnsembleHistory()
+        hist.record(self.step_index, self.time, self.grid, self.particles, self.efield,
+                    v_center=self._v_integer)
+        for _ in range(n):
+            self.step()
+            hist.record(self.step_index, self.time, self.grid, self.particles, self.efield,
+                        v_center=self._v_integer)
+            if callback is not None:
+                callback(self)
+        return hist
+
+
+class PICSimulation:
+    """Single-run view of the ensemble engine (``batch=1``).
+
+    Keeps the seed API: 1-D ``particles`` arrays, a per-run
+    :class:`FieldSolver` (lifted internally), ``History`` diagnostics
+    and the leapfrog staggering described on
+    :class:`EnsembleSimulation`.  The trajectory is bitwise identical
+    to the pre-ensemble single-run implementation.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        field_solver: FieldSolver,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> None:
+        self.config = config
+        self.field_solver = field_solver
+        self._ensemble = EnsembleSimulation((config,), field_solver=field_solver, rngs=[rng])
+        self.grid = self._ensemble.grid
+        ens_particles = self._ensemble.particles
+        self.particles = ParticleSet(
+            ens_particles.x[0], ens_particles.v[0], ens_particles.charge, ens_particles.mass
+        )
+        self._sync_from_ensemble()
+
+    def _sync_from_ensemble(self) -> None:
+        """Expose row 0 of the ensemble state through the 1-D attributes."""
+        ens = self._ensemble
+        self.particles.x = ens.particles.x[0]
+        self.particles.v = ens.particles.v[0]
+        self.efield = ens.efield[0]
+        self._v_integer = ens._v_integer[0]
+        self.time = ens.time
+        self.step_index = ens.step_index
+
+    def _push_to_ensemble(self) -> None:
+        """Adopt external edits of the 1-D views back into the ensemble.
+
+        Reshaping the (contiguous) 1-D arrays to ``(1, n)`` is a view,
+        so this costs nothing when the state was not touched.
+        """
+        ens = self._ensemble
+        ens.particles.x = np.asarray(self.particles.x, dtype=np.float64).reshape(1, -1)
+        ens.particles.v = np.asarray(self.particles.v, dtype=np.float64).reshape(1, -1)
+        ens.efield = np.asarray(self.efield, dtype=np.float64).reshape(1, -1)
+        ens._v_integer = np.asarray(self._v_integer, dtype=np.float64).reshape(1, -1)
+
+    @property
+    def v_at_integer_time(self) -> np.ndarray:
+        """Velocities synchronized to the current integer time."""
+        return self._v_integer
+
+    def step(self) -> None:
+        """Advance one PIC cycle (gather -> push v -> push x -> field)."""
+        self._push_to_ensemble()
+        self._ensemble.step()
+        self._sync_from_ensemble()
 
     def run(
         self,
@@ -145,6 +371,13 @@ class PICSimulation:
         return hist
 
 
+def _first_row(arr: "np.ndarray | None") -> "np.ndarray | None":
+    """Row 0 of a batched grid array (pass 1-D arrays through)."""
+    if arr is None:
+        return None
+    return arr[0] if arr.ndim == 2 else arr
+
+
 class TraditionalPIC(PICSimulation):
     """The paper's traditional explicit electrostatic PIC (Fig. 1)."""
 
@@ -168,11 +401,11 @@ class TraditionalPIC(PICSimulation):
         """Total charge density from the most recent field solve."""
         solver = self.field_solver
         assert isinstance(solver, ChargeDepositionFieldSolver)
-        return solver.last_rho
+        return _first_row(solver.last_rho)
 
     @property
     def potential(self) -> "np.ndarray | None":
         """Electrostatic potential from the most recent field solve."""
         solver = self.field_solver
         assert isinstance(solver, ChargeDepositionFieldSolver)
-        return solver.last_phi
+        return _first_row(solver.last_phi)

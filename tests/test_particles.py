@@ -20,9 +20,18 @@ class TestParticleSet:
         with pytest.raises(ValueError):
             ParticleSet(np.zeros(3), np.zeros(4), charge=-1.0, mass=1.0)
 
-    def test_2d_arrays_rejected(self):
+    def test_2d_arrays_accepted_as_batch(self):
+        p = ParticleSet(np.zeros((3, 5)), np.zeros((3, 5)), charge=-1.0, mass=1.0)
+        assert p.batch == 3
+        assert len(p) == 5
+
+    def test_1d_set_has_batch_one(self):
+        p = ParticleSet(np.zeros(4), np.zeros(4), charge=-1.0, mass=1.0)
+        assert p.batch == 1
+
+    def test_3d_arrays_rejected(self):
         with pytest.raises(ValueError):
-            ParticleSet(np.zeros((2, 2)), np.zeros((2, 2)), charge=-1.0, mass=1.0)
+            ParticleSet(np.zeros((2, 2, 2)), np.zeros((2, 2, 2)), charge=-1.0, mass=1.0)
 
     def test_nonpositive_mass_rejected(self):
         with pytest.raises(ValueError):
