@@ -72,6 +72,10 @@ def _add_sweep(sub: "argparse._SubParsersAction") -> None:
     p.add_argument("--seed", type=int, default=0, help="base seed (run b uses seed+b)")
     p.add_argument("--interpolation", choices=["ngp", "cic", "tsc"], default="cic")
     p.add_argument("--poisson", choices=["spectral", "fd", "direct"], default="spectral")
+    p.add_argument("--solver", choices=["traditional", "dl"], default="traditional",
+                   help="field solve: classic deposit+Poisson, or a trained neural solver")
+    p.add_argument("--model-dir", default=None,
+                   help="directory saved by DLFieldSolver.save (required with --solver dl)")
     p.add_argument("--out", default=None, help="save the batched histories to this .npz")
 
 
@@ -159,6 +163,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.solver == "dl" and args.model_dir is None:
+        print("error: --solver dl requires --model-dir (a DLFieldSolver.save directory)",
+              file=sys.stderr)
+        return 2
     base = SimulationConfig(
         n_cells=args.cells, particles_per_cell=args.ppc, n_steps=args.steps,
         dt=args.dt, scenario=args.scenario,
@@ -170,8 +178,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for vth in args.vth
         for rep in range(args.runs)
     ]
-    sim = EnsembleSimulation(configs)
+    if args.solver == "dl":
+        from repro.dlpic import DLEnsemble, DLFieldSolver
+
+        try:
+            dl_solver = DLFieldSolver.load_auto(args.model_dir)
+        except (OSError, KeyError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: cannot load a DL solver from {args.model_dir!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        try:
+            sim = DLEnsemble(configs, dl_solver)
+        except ValueError as exc:
+            print(f"error: solver incompatible with the sweep configuration: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        sim = EnsembleSimulation(configs)
     print(f"sweeping {sim.batch} runs of scenario {args.scenario!r} "
+          f"with the {args.solver} solver "
           f"({args.steps} steps, {base.n_particles} particles each)...")
     history = sim.run(args.steps)
     series = history.as_arrays()

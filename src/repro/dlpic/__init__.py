@@ -1,6 +1,6 @@
 """The paper's contribution: the DL-based PIC method (Fig. 2)."""
 
 from repro.dlpic.solver import DLFieldSolver
-from repro.dlpic.simulation import DLPIC
+from repro.dlpic.simulation import DLEnsemble, DLPIC
 
-__all__ = ["DLFieldSolver", "DLPIC"]
+__all__ = ["DLEnsemble", "DLFieldSolver", "DLPIC"]

@@ -5,6 +5,16 @@ At every PIC cycle the solver (1) bins the particle phase space onto a
 *frozen at training time* (Eq. 5), and (3) evaluates the trained
 network to predict the electric field on the 64 grid nodes.  No charge
 deposition and no Poisson solve take place.
+
+The solver is batch-native: an ensemble of runs hands it stacked
+``(batch, n)`` phase spaces and the whole stage — binning, frozen
+normalization, network evaluation — executes once per step for the
+entire batch (:meth:`DLFieldSolver.fields`).  One fused ``bincount``
+builds every histogram, one normalization pass rescales the stack, and
+ONE network forward predicts all fields.  The single-run
+:meth:`DLFieldSolver.field` is a batch-of-one view of the same path,
+and the inference stack guarantees each batched row is bitwise
+identical to the corresponding single run (see ``repro.nn.layers``).
 """
 
 from __future__ import annotations
@@ -15,7 +25,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.nn.network import Sequential
-from repro.phasespace.binning import PhaseSpaceGrid, bin_phase_space
+from repro.phasespace.binning import PhaseSpaceGrid, bin_phase_space_batch
 from repro.phasespace.normalization import MinMaxNormalizer
 
 _INPUT_KINDS = ("flat", "image")
@@ -39,8 +49,13 @@ class DLFieldSolver:
         Phase-space binning order, ``"ngp"`` (paper) or ``"cic"``.
 
     The object satisfies the ``FieldSolver`` protocol of
-    ``repro.pic.simulation`` and plugs directly into the PIC cycle.
+    ``repro.pic.simulation`` and plugs directly into the PIC cycle —
+    natively batched (``supports_batch``), so an
+    :class:`~repro.pic.simulation.EnsembleSimulation` drives it without
+    any row-by-row lifting.
     """
+
+    supports_batch = True
 
     def __init__(
         self,
@@ -59,27 +74,78 @@ class DLFieldSolver:
         self.normalizer = normalizer
         self.input_kind = input_kind
         self.binning = binning
-        self.last_histogram: "np.ndarray | None" = None
+        self.last_histograms: "np.ndarray | None" = None
+
+    @property
+    def last_histogram(self) -> "np.ndarray | None":
+        """Histogram of the most recent batch-of-one prediction.
+
+        ``None`` before any prediction, and for true ensembles
+        (``batch > 1``) — read :attr:`last_histograms` there.
+        """
+        if self.last_histograms is None or self.last_histograms.shape[0] != 1:
+            return None
+        return self.last_histograms[0]
+
+    def prepare_inputs(self, histograms: np.ndarray) -> np.ndarray:
+        """Normalize stacked histograms and shape them for the network.
+
+        ``histograms`` is ``(batch, n_v, n_x)``; one normalization pass
+        covers the whole stack.  Returns ``(batch, n_v*n_x)`` for
+        ``"flat"`` models or ``(batch, 1, n_v, n_x)`` for ``"image"``.
+        """
+        histograms = np.asarray(histograms, dtype=np.float64)
+        if histograms.ndim != 3 or histograms.shape[1:] != self.ps_grid.shape:
+            raise ValueError(
+                f"histograms {histograms.shape} do not match "
+                f"(batch, {self.ps_grid.n_v}, {self.ps_grid.n_x})"
+            )
+        norm = self.normalizer.transform(histograms)
+        if self.input_kind == "flat":
+            return norm.reshape(histograms.shape[0], -1)
+        return norm.reshape(histograms.shape[0], 1, *self.ps_grid.shape)
 
     def prepare_input(self, histogram: np.ndarray) -> np.ndarray:
         """Normalize a single histogram and shape it for the network."""
         histogram = np.asarray(histogram, dtype=np.float64)
         if histogram.shape != self.ps_grid.shape:
             raise ValueError(f"histogram {histogram.shape} does not match grid {self.ps_grid.shape}")
-        norm = self.normalizer.transform(histogram)
-        if self.input_kind == "flat":
-            return norm.reshape(1, -1)
-        return norm.reshape(1, 1, *self.ps_grid.shape)
+        return self.prepare_inputs(histogram[None])
+
+    def predict_from_histograms(self, histograms: np.ndarray) -> np.ndarray:
+        """One network forward over stacked raw histograms."""
+        return self.model.predict(self.prepare_inputs(histograms))
 
     def predict_from_histogram(self, histogram: np.ndarray) -> np.ndarray:
         """Network prediction for one raw (unnormalized) histogram."""
         return self.model.predict(self.prepare_input(histogram))[0]
 
+    def fields(self, x: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Predict every ensemble member's field in one fused pass.
+
+        ``x`` and ``v`` are stacked ``(batch, n)`` phase spaces; the
+        result is ``(batch, n_cells)``.  The entire DL field-solve
+        stage — binning, normalization, network forward — runs once for
+        the whole batch, and row ``b`` is bitwise identical to a
+        single-run :meth:`field` call on ``(x[b], v[b])``.
+        """
+        hists = bin_phase_space_batch(x, v, self.ps_grid, order=self.binning)
+        self.last_histograms = hists
+        return self.predict_from_histograms(hists)
+
     def field(self, x: np.ndarray, v: np.ndarray) -> np.ndarray:
-        """``FieldSolver`` protocol entry point used by the PIC cycle."""
-        hist = bin_phase_space(x, v, self.ps_grid, order=self.binning)
-        self.last_histogram = hist
-        return self.predict_from_histogram(hist)
+        """``FieldSolver`` protocol entry point used by the PIC cycle.
+
+        Accepts either a single ``(n,)`` phase space (returning
+        ``(n_cells,)``) or a stacked ``(batch, n)`` ensemble (returning
+        ``(batch, n_cells)``); the single-run form is a batch-of-one
+        view of :meth:`fields`.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        if x.ndim == 2:
+            return self.fields(x, v)
+        return self.fields(x[None], v[None])[0]
 
     # -- persistence -----------------------------------------------------
     def save(self, directory: "str | Path") -> Path:
@@ -120,3 +186,16 @@ class DLFieldSolver:
             input_kind=meta["input_kind"],
             binning=meta["binning"],
         )
+
+    @classmethod
+    def load_auto(cls, directory: "str | Path") -> "DLFieldSolver":
+        """Rebuild a solver from a saved directory alone.
+
+        Unlike :meth:`load` no pre-built architecture is needed: the
+        checkpoint's layer fingerprint reconstructs the network
+        (:meth:`Sequential.from_saved`).  This is what lets the CLI run
+        ``repro sweep --solver dl --model-dir <dir>`` against any saved
+        solver.
+        """
+        directory = Path(directory)
+        return cls.load(directory, Sequential.from_saved(directory / "model.npz"))

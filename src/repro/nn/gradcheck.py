@@ -38,13 +38,14 @@ def check_layer_input_gradient(
     ``backward(R)``.
     """
     rng = np.random.default_rng(seed)
-    y = layer.forward(np.array(x, copy=True), training=False)
+    # training=True: backward state is only cached by training forwards.
+    y = layer.forward(np.array(x, copy=True), training=True)
     direction = rng.normal(size=y.shape)
 
     def scalar_loss(inp: np.ndarray) -> float:
-        return float(np.sum(direction * layer.forward(inp, training=False)))
+        return float(np.sum(direction * layer.forward(inp, training=True)))
 
-    layer.forward(np.array(x, copy=True), training=False)
+    layer.forward(np.array(x, copy=True), training=True)
     analytic = layer.backward(direction)
     numeric = numerical_gradient(scalar_loss, np.array(x, copy=True), eps=eps)
     return float(np.max(np.abs(analytic - numeric)))
@@ -55,10 +56,11 @@ def check_layer_param_gradients(
 ) -> dict[str, float]:
     """Max abs analytic-vs-numeric difference for each parameter array."""
     rng = np.random.default_rng(seed)
-    y = layer.forward(np.array(x, copy=True), training=False)
+    # training=True: backward state is only cached by training forwards.
+    y = layer.forward(np.array(x, copy=True), training=True)
     direction = rng.normal(size=y.shape)
     layer.zero_grad()
-    layer.forward(np.array(x, copy=True), training=False)
+    layer.forward(np.array(x, copy=True), training=True)
     layer.backward(direction)
     analytic = {k: g.copy() for k, g in layer.grads.items()}
 
@@ -68,7 +70,7 @@ def check_layer_param_gradients(
         def scalar_loss(p: np.ndarray, _name: str = name) -> float:
             saved = layer.params[_name].copy()
             layer.params[_name][...] = p
-            out = float(np.sum(direction * layer.forward(np.array(x, copy=True), training=False)))
+            out = float(np.sum(direction * layer.forward(np.array(x, copy=True), training=True)))
             layer.params[_name][...] = saved
             return out
 

@@ -5,10 +5,28 @@ where ``backward`` consumes the gradient of the loss with respect to
 the layer output and returns the gradient with respect to the input,
 accumulating parameter gradients in ``layer.grads``.  All gradients are
 verified against central finite differences in ``tests/test_gradcheck``.
+``backward`` requires a preceding ``forward(..., training=True)``:
+evaluation-mode forwards are an inference fast path that caches no
+backward state (inputs, masks, argmaxes) at all.
 
 Conventions: dense inputs are ``(N, features)``; convolutional inputs
 are channels-first ``(N, C, H, W)`` (a phase-space histogram enters the
 paper's CNN as ``(N, 1, n_v, n_x)``).
+
+Inference determinism
+---------------------
+BLAS picks different micro-kernels (and therefore different summation
+orders) depending on the row count of a matmul, so ``x[0:1] @ W`` is
+*not* bitwise equal to row 0 of ``x @ W`` in general.  The batched
+DL-PIC ensemble engine promises bitwise parity between a batch-``B``
+run and ``B`` single runs, so evaluation-mode :class:`Dense` forwards
+route every matmul through fixed-width row blocks of ``GEMM_BLOCK``
+(padding short blocks with zero rows).  Every inference GEMM then uses
+the identical kernel and reduction order regardless of the caller's
+batch size, making each output row a function of its input row alone.
+The padding is effectively free: a skinny ``(GEMM_BLOCK, F) @ (F, O)``
+product is bound by streaming ``W`` from memory, which a 1-row product
+pays in full anyway.
 """
 
 from __future__ import annotations
@@ -20,6 +38,40 @@ from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.nn.initializers import get_initializer
 from repro.utils.rng import as_generator
+
+# Fixed row-block width for evaluation-mode Dense matmuls (see module
+# docstring).  16 matches the reference ensemble batch size, so a
+# batch-16 DL sweep runs exact full blocks with zero padding waste.
+GEMM_BLOCK = 16
+
+
+def blocked_gemm(x: np.ndarray, w: np.ndarray, out: "np.ndarray | None" = None) -> np.ndarray:
+    """``x @ w`` computed in fixed ``GEMM_BLOCK``-row blocks.
+
+    Row ``i`` of the result is bitwise identical for every possible row
+    count of ``x`` (short final blocks are zero-padded up to the block
+    width), which is what makes batched network inference reproduce
+    single-run inference exactly.  Full blocks are written straight
+    into ``out`` (allocated here if not supplied) without temporaries.
+
+    Applying the blocks to *every* evaluation matmul (not only the
+    DL-ensemble path) trades ~1.5x on very large-batch products (the
+    BLAS can no longer cache-block across thousands of rows) for
+    predictions that are reproducible under any dataset chunking; the
+    expensive training forwards keep the unblocked ``x @ W``.
+    """
+    n = x.shape[0]
+    if out is None:
+        out = np.empty((n, w.shape[1]), dtype=np.float64)
+    for start in range(0, n, GEMM_BLOCK):
+        stop = min(start + GEMM_BLOCK, n)
+        if stop - start == GEMM_BLOCK:
+            np.matmul(x[start:stop], w, out=out[start:stop])
+        else:
+            padded = np.zeros((GEMM_BLOCK, x.shape[1]), dtype=np.float64)
+            padded[: stop - start] = x[start:stop]
+            out[start:stop] = np.matmul(padded, w)[: stop - start]
+    return out
 
 
 class Layer:
@@ -78,8 +130,15 @@ class Dense(Layer):
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(f"Dense expected (N, {self.in_features}), got {x.shape}")
-        self._x = x
-        return x @ self.params["W"] + self.params["b"]
+        if training:
+            self._x = x
+            return x @ self.params["W"] + self.params["b"]
+        # Inference fast path: no backward cache, batch-size-invariant
+        # fixed-width GEMM, bias added in place into the output buffer.
+        self._x = None
+        out = blocked_gemm(x, self.params["W"])
+        out += self.params["b"]
+        return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._x is None:
@@ -102,6 +161,9 @@ class ReLU(Layer):
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
+        if not training:
+            self._mask = None
+            return np.where(x > 0.0, x, 0.0)
         self._mask = x > 0.0
         return np.where(self._mask, x, 0.0)
 
@@ -119,8 +181,9 @@ class Tanh(Layer):
         self._y: "np.ndarray | None" = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._y = np.tanh(np.asarray(x, dtype=np.float64))
-        return self._y
+        y = np.tanh(np.asarray(x, dtype=np.float64))
+        self._y = y if training else None
+        return y
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._y is None:
@@ -137,8 +200,9 @@ class Sigmoid(Layer):
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
-        self._y = 0.5 * (1.0 + np.tanh(0.5 * x))  # numerically stable sigmoid
-        return self._y
+        y = 0.5 * (1.0 + np.tanh(0.5 * x))  # numerically stable sigmoid
+        self._y = y if training else None
+        return y
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._y is None:
@@ -181,7 +245,7 @@ class Flatten(Layer):
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
-        self._shape = x.shape
+        self._shape = x.shape if training else None
         return x.reshape(x.shape[0], -1)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
@@ -251,6 +315,23 @@ class Conv2D(Layer):
         if x.shape[2] + 2 * ph < kh or x.shape[3] + 2 * pw < kw:
             raise ValueError(f"input {x.shape} smaller than kernel {self.kernel_size}")
         xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw))) if (ph or pw) else x
+        if not training:
+            # Inference fast path: no backward cache, and one tensordot
+            # per sample so the underlying GEMM shape — hence the
+            # floating-point reduction order — is identical for every
+            # caller batch size (cf. the module docstring; the batch
+            # dimension would otherwise fold into the GEMM rows).
+            self._x_padded = None
+            self._x_shape = None
+            h_out = xp.shape[2] - kh + 1
+            w_out = xp.shape[3] - kw + 1
+            out = np.empty((x.shape[0], self.out_channels, h_out, w_out), dtype=np.float64)
+            for i in range(x.shape[0]):
+                windows = sliding_window_view(xp[i], (kh, kw), axis=(1, 2))
+                y = np.tensordot(windows, self.params["W"], axes=([0, 3, 4], [1, 2, 3]))
+                out[i] = y.transpose(2, 0, 1)
+            out += self.params["b"][None, :, None, None]
+            return out
         self._x_padded = xp
         self._x_shape = x.shape
         # windows: (N, C, H_out, W_out, kh, kw)
@@ -324,9 +405,14 @@ class MaxPool2D(Layer):
         n, c, h, w = x.shape
         if h % ph or w % pw:
             raise ValueError(f"spatial size {(h, w)} not divisible by pool {self.pool_size}")
-        self._x_shape = x.shape
         blocks = x.reshape(n, c, h // ph, ph, w // pw, pw).transpose(0, 1, 2, 4, 3, 5)
         flat = blocks.reshape(n, c, h // ph, w // pw, ph * pw)
+        if not training:
+            # Inference: a plain max, no argmax routing table to keep.
+            self._x_shape = None
+            self._argmax = None
+            return flat.max(axis=-1)
+        self._x_shape = x.shape
         self._argmax = flat.argmax(axis=-1)
         return np.take_along_axis(flat, self._argmax[..., None], axis=-1)[..., 0]
 

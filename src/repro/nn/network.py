@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import ast
 import json
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -9,6 +10,31 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.nn.layers import Layer
+
+# Layer constructors a checkpoint fingerprint may name (Sequential.from_saved).
+_FINGERPRINT_LAYERS = ("Dense", "ReLU", "Tanh", "Sigmoid", "Flatten", "Conv2D", "MaxPool2D")
+
+
+def _layer_from_fingerprint(text: str) -> Layer:
+    """Instantiate a whitelisted layer from its ``repr`` string.
+
+    Accepts exactly one call of a registry layer with literal
+    positional/keyword arguments (``Dense(128, 64)``,
+    ``Conv2D(1, 16, kernel_size=(3, 3), padding='same')``); anything
+    else — attribute access, nested calls, names as arguments — is
+    rejected, so untrusted checkpoints cannot smuggle code through the
+    fingerprint.
+    """
+    from repro.nn import layers as _layers
+
+    node = ast.parse(text, mode="eval").body
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+        raise ValueError(f"fingerprint is not a plain layer call: {text!r}")
+    if node.func.id not in _FINGERPRINT_LAYERS:
+        raise ValueError(f"layer {node.func.id!r} is not reconstructable from a fingerprint")
+    args = [ast.literal_eval(arg) for arg in node.args]
+    kwargs = {kw.arg: ast.literal_eval(kw.value) for kw in node.keywords if kw.arg is not None}
+    return getattr(_layers, node.func.id)(*args, **kwargs)
 
 
 class Sequential:
@@ -52,17 +78,25 @@ class Sequential:
         return grad
 
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Inference in evaluation mode, batched to bound memory."""
+        """Inference in evaluation mode, batched to bound memory.
+
+        Chunks are written straight into one preallocated output array
+        (sized from the first chunk) instead of the list-append +
+        concatenate pattern, so large predictions cost one output
+        allocation and no final copy.
+        """
         x = np.asarray(x, dtype=np.float64)
         if batch_size < 1:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
-        if x.shape[0] <= batch_size:
+        n = x.shape[0]
+        if n <= batch_size:
             return self.forward(x, training=False)
-        chunks = [
-            self.forward(x[i : i + batch_size], training=False)
-            for i in range(0, x.shape[0], batch_size)
-        ]
-        return np.concatenate(chunks, axis=0)
+        first = self.forward(x[:batch_size], training=False)
+        out = np.empty((n, *first.shape[1:]), dtype=first.dtype)
+        out[:batch_size] = first
+        for i in range(batch_size, n, batch_size):
+            out[i : i + batch_size] = self.forward(x[i : i + batch_size], training=False)
+        return out
 
     # -- parameters ------------------------------------------------------
     def param_grad_pairs(self) -> list[tuple[np.ndarray, np.ndarray]]:
@@ -128,3 +162,33 @@ class Sequential:
             state = {k: archive[k] for k in archive.files if k != "__architecture__"}
         self.load_state_dict(state)
         return self
+
+    @classmethod
+    def from_saved(cls, path: "str | Path") -> "Sequential":
+        """Rebuild architecture *and* weights from a :meth:`save` file.
+
+        The checkpoint's layer fingerprint (the ``repr`` of every
+        layer) is parsed — never evaluated — against a whitelist of
+        layer constructors with literal arguments, then the saved
+        parameters are loaded into the rebuilt stack.  A checkpoint is
+        data, not code: like the ``allow_pickle=False`` loads, a
+        hostile ``model.npz`` must not be able to run anything.  Works
+        for every layer whose ``repr`` round-trips (Dense, activations,
+        Flatten, Conv2D, MaxPool2D); layers that do not (e.g. Dropout)
+        raise with a pointer to constructing the model explicitly.
+        """
+        path = Path(path)
+        with np.load(path, allow_pickle=False) as archive:
+            if "__architecture__" not in archive.files:
+                raise ValueError(f"{path} has no architecture fingerprint")
+            reprs = json.loads(bytes(archive["__architecture__"]).decode("utf-8"))
+        stack: list[Layer] = []
+        for text in reprs:
+            try:
+                stack.append(_layer_from_fingerprint(text))
+            except Exception as exc:
+                raise ValueError(
+                    f"cannot rebuild layer from fingerprint {text!r}; construct the "
+                    "architecture explicitly and use load() instead"
+                ) from exc
+        return cls(stack).load(path)

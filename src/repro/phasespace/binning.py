@@ -95,6 +95,41 @@ def _v_bins(v: np.ndarray, grid: PhaseSpaceGrid) -> np.ndarray:
     return np.clip(idx, 0, grid.n_v - 1)
 
 
+def _cic_flat_scatter(
+    x: np.ndarray, v: np.ndarray, grid: PhaseSpaceGrid
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flattened CIC scatter indices and bilinear weights.
+
+    ``x`` and ``v`` may be ``(n,)`` or ``(batch, n)``; the returned
+    indices address the row-major-raveled histogram(s) and the four
+    corner contributions are concatenated along the last axis in the
+    fixed order (v0x0, v0x1, v1x0, v1x1), so a single ``np.add.at`` on
+    the raveled output accumulates every corner for every particle in
+    the same order the classic four-scatter formulation does.
+    """
+    sx = np.mod(x, grid.box_length) / grid.dx - 0.5
+    jx = np.floor(sx).astype(np.int64)
+    fx = sx - jx
+    jx0 = jx % grid.n_x
+    jx1 = (jx + 1) % grid.n_x
+    sv = (v - grid.v_min) / grid.dv - 0.5
+    jv = np.floor(sv).astype(np.int64)
+    fv = sv - jv
+    # Clamp in velocity: out-of-window weight collapses onto edge bins.
+    jv0 = np.clip(jv, 0, grid.n_v - 1)
+    jv1 = np.clip(jv + 1, 0, grid.n_v - 1)
+    flat = np.concatenate(
+        [jv0 * grid.n_x + jx0, jv0 * grid.n_x + jx1,
+         jv1 * grid.n_x + jx0, jv1 * grid.n_x + jx1],
+        axis=-1,
+    )
+    weights = np.concatenate(
+        [(1.0 - fv) * (1.0 - fx), (1.0 - fv) * fx, fv * (1.0 - fx), fv * fx],
+        axis=-1,
+    )
+    return flat, weights
+
+
 def bin_phase_space(
     x: np.ndarray,
     v: np.ndarray,
@@ -109,31 +144,68 @@ def bin_phase_space(
     neighbouring cells (periodic in x, clamped in v), which reduces the
     binning noise the paper identifies as a limitation.  Both conserve
     total mass exactly: ``result.sum() == len(x)``.
+
+    NGP counting runs through a single fused ``np.bincount`` over the
+    raveled cell indices — several times faster than a 2D
+    ``np.add.at`` scatter and exactly equal to it (the counts are
+    integers, so no summation-order question arises).
     """
     x = np.asarray(x, dtype=np.float64)
     v = np.asarray(v, dtype=np.float64)
     if x.shape != v.shape or x.ndim != 1:
         raise ValueError(f"x and v must be 1D arrays of equal length, got {x.shape}, {v.shape}")
-    hist = np.zeros(grid.shape, dtype=np.float64)
     if order == "ngp":
-        np.add.at(hist, (_v_bins(v, grid), _x_bins(x, grid)), 1.0)
+        flat = _v_bins(v, grid) * grid.n_x + _x_bins(x, grid)
+        hist = np.bincount(flat, minlength=grid.size).astype(np.float64)
+        hist = hist.reshape(grid.shape)
     elif order == "cic":
-        # Bilinear weights relative to bin centers.
-        sx = np.mod(x, grid.box_length) / grid.dx - 0.5
-        jx = np.floor(sx).astype(np.int64)
-        fx = sx - jx
-        jx0 = jx % grid.n_x
-        jx1 = (jx + 1) % grid.n_x
-        sv = (v - grid.v_min) / grid.dv - 0.5
-        jv = np.floor(sv).astype(np.int64)
-        fv = sv - jv
-        # Clamp in velocity: out-of-window weight collapses onto edge bins.
-        jv0 = np.clip(jv, 0, grid.n_v - 1)
-        jv1 = np.clip(jv + 1, 0, grid.n_v - 1)
-        np.add.at(hist, (jv0, jx0), (1.0 - fv) * (1.0 - fx))
-        np.add.at(hist, (jv0, jx1), (1.0 - fv) * fx)
-        np.add.at(hist, (jv1, jx0), fv * (1.0 - fx))
-        np.add.at(hist, (jv1, jx1), fv * fx)
+        flat, weights = _cic_flat_scatter(x, v, grid)
+        hist = np.zeros(grid.size, dtype=np.float64)
+        np.add.at(hist, flat, weights)
+        hist = hist.reshape(grid.shape)
     else:
         raise ValueError(f"unknown binning order {order!r}; expected 'ngp' or 'cic'")
     return hist.astype(dtype, copy=False)
+
+
+def bin_phase_space_batch(
+    x: np.ndarray,
+    v: np.ndarray,
+    grid: PhaseSpaceGrid,
+    order: str = "ngp",
+    dtype: "np.dtype | type" = np.float64,
+) -> np.ndarray:
+    """Bin a whole ensemble of phase spaces in one fused scatter.
+
+    ``x`` and ``v`` are stacked ``(batch, n)`` arrays; the result is
+    ``(batch, n_v, n_x)`` with row ``b`` bitwise identical to
+    ``bin_phase_space(x[b], v[b], grid, order)``:
+
+    * NGP: all cell indices are fused into one raveled index array
+      (offset by ``b * grid.size`` per row) and counted by a single
+      ``np.bincount`` — one C-level pass for the whole ensemble.
+    * CIC: the four bilinear corner contributions of every row are
+      scattered by one raveled ``np.add.at``.  Rows write to disjoint
+      index ranges and each row's updates keep the single-run
+      accumulation order, so the float sums match bit for bit.
+
+    Mass is conserved per row: ``result.sum(axis=(1, 2)) == n``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    if x.shape != v.shape or x.ndim != 2:
+        raise ValueError(
+            f"x and v must be (batch, n) arrays of equal shape, got {x.shape}, {v.shape}"
+        )
+    batch = x.shape[0]
+    offsets = np.arange(batch, dtype=np.int64)[:, None] * grid.size
+    if order == "ngp":
+        flat = _v_bins(v, grid) * grid.n_x + _x_bins(x, grid) + offsets
+        hist = np.bincount(flat.ravel(), minlength=batch * grid.size).astype(np.float64)
+    elif order == "cic":
+        flat, weights = _cic_flat_scatter(x, v, grid)
+        hist = np.zeros(batch * grid.size, dtype=np.float64)
+        np.add.at(hist, (flat + offsets).ravel(), weights.ravel())
+    else:
+        raise ValueError(f"unknown binning order {order!r}; expected 'ngp' or 'cic'")
+    return hist.reshape(batch, *grid.shape).astype(dtype, copy=False)

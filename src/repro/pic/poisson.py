@@ -127,6 +127,14 @@ def electric_field_from_potential(
 class PoissonSolver:
     """Facade bundling a Poisson discretization with a gradient rule.
 
+    The per-grid FFT symbols — rfft wavenumbers, the finite-difference
+    eigenvalues, their nonzero masks and the ``eps0``-scaled
+    denominators, and the spectral-gradient multiplier — are computed
+    once at construction and reused by every :meth:`solve`.  The
+    module-level solve functions recompute them per call; the cached
+    path evaluates the exact same expressions, so results are bitwise
+    identical (this is the PIC cycle's hot path: one solve per step).
+
     >>> grid = Grid1D(64, 2.0)
     >>> solver = PoissonSolver(grid, method="spectral", gradient="central")
     >>> phi, E = solver.solve(rho)       # doctest: +SKIP
@@ -147,16 +155,42 @@ class PoissonSolver:
         self.method = method
         self.gradient = gradient
         self.eps0 = eps0
+        # Frozen per-grid FFT symbols (identical expressions to the
+        # module-level solvers, evaluated once instead of per step).
+        k = grid.rfft_wavenumbers()
+        self._k = k
+        self._k_nonzero = k != 0.0
+        self._k_denominator = eps0 * k[self._k_nonzero] ** 2
+        lam = (2.0 - 2.0 * np.cos(k * grid.dx)) / grid.dx**2
+        self._fd_nonzero = lam != 0.0
+        self._fd_denominator = eps0 * lam[self._fd_nonzero]
+        self._spectral_gradient_symbol = -1j * k
 
     def solve_potential(self, rho: np.ndarray) -> np.ndarray:
         """Return the zero-mean electrostatic potential for ``rho``."""
+        if self.method == "direct":
+            return solve_poisson_direct(self.grid, rho, self.eps0)
+        rho = _validate_rho(self.grid, rho)
+        rho_k = np.fft.rfft(rho, axis=-1)
+        phi_k = np.zeros_like(rho_k)
         if self.method == "spectral":
-            return solve_poisson_spectral(self.grid, rho, self.eps0)
-        if self.method == "fd":
-            return solve_poisson_fd(self.grid, rho, self.eps0)
-        return solve_poisson_direct(self.grid, rho, self.eps0)
+            nonzero, denominator = self._k_nonzero, self._k_denominator
+        else:  # "fd"
+            nonzero, denominator = self._fd_nonzero, self._fd_denominator
+        phi_k[..., nonzero] = rho_k[..., nonzero] / denominator
+        return np.fft.irfft(phi_k, n=self.grid.n_cells, axis=-1)
+
+    def electric_field(self, phi: np.ndarray) -> np.ndarray:
+        """``E = -grad(phi)`` with this solver's gradient rule (cached symbols)."""
+        phi = _validate_grid_array(self.grid, phi, "phi")
+        if self.gradient == "central":
+            return -(np.roll(phi, -1, axis=-1) - np.roll(phi, 1, axis=-1)) / (2.0 * self.grid.dx)
+        phi_k = np.fft.rfft(phi, axis=-1)
+        return np.fft.irfft(
+            self._spectral_gradient_symbol * phi_k, n=self.grid.n_cells, axis=-1
+        )
 
     def solve(self, rho: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(phi, E)`` for the charge density ``rho``."""
         phi = self.solve_potential(rho)
-        return phi, electric_field_from_potential(self.grid, phi, self.gradient)
+        return phi, self.electric_field(phi)

@@ -16,7 +16,10 @@ diagnostics, per-run pluggable ``FieldSolver``).
 
 :class:`TraditionalPIC` wires in the classic charge-deposit + Poisson
 field solve (Fig. 1); ``repro.dlpic.DLPIC`` wires in the neural solver
-(Fig. 2).
+(Fig. 2).  Both field solves are batch-native: the traditional path
+batches its scatter + FFTs, and ``repro.dlpic.DLFieldSolver`` bins,
+normalizes and network-evaluates a whole ensemble per step
+(``repro.dlpic.DLEnsemble`` is the preconfigured DL sweep engine).
 """
 
 from __future__ import annotations
@@ -67,10 +70,11 @@ class LiftedFieldSolver:
     """Adapts a single-run :class:`FieldSolver` to batched inputs.
 
     Calls the wrapped solver once per ensemble row and stacks the
-    results — no speedup, but it lets per-run solvers (e.g. the DL
-    field solver or the simulated-MPI solvers) drive an ensemble
-    unchanged, and it keeps ``batch=1`` ensembles bitwise faithful to
-    the plain single-run cycle.
+    results — no speedup, but it lets per-run solvers (e.g. the
+    simulated-MPI solvers) drive an ensemble unchanged, and it keeps
+    ``batch=1`` ensembles bitwise faithful to the plain single-run
+    cycle.  The DL field solver no longer needs it: it is batch-native
+    and predicts every member's field with one network forward.
     """
 
     supports_batch = True

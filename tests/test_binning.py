@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.phasespace.binning import PhaseSpaceGrid, bin_phase_space
+from repro.phasespace.binning import PhaseSpaceGrid, bin_phase_space, bin_phase_space_batch
 
 
 @pytest.fixture
@@ -123,6 +123,68 @@ class TestCICBinning:
         ngp = bin_phase_space(x, v, grid, order="ngp")
         cic = bin_phase_space(x, v, grid, order="cic")
         assert np.count_nonzero(cic) >= np.count_nonzero(ngp)
+
+
+class TestNGPFastPathExactness:
+    """The fused-bincount NGP path must equal the classic scatter."""
+
+    @pytest.mark.parametrize("n", [0, 1, 17, 500])
+    def test_bincount_equals_add_at_scatter(self, grid, n):
+        rng = np.random.default_rng(n)
+        x = rng.uniform(-1.0, 2 * grid.box_length, n)
+        v = rng.normal(0, 0.8, n)  # tails outside the window -> clipped
+        reference = np.zeros(grid.shape, dtype=np.float64)
+        iv = np.clip(np.floor((v - grid.v_min) / grid.dv).astype(np.int64), 0, grid.n_v - 1)
+        ix = np.floor(np.mod(x, grid.box_length) / grid.dx).astype(np.int64) % grid.n_x
+        np.add.at(reference, (iv, ix), 1.0)
+        np.testing.assert_array_equal(bin_phase_space(x, v, grid, order="ngp"), reference)
+
+
+class TestBatchedBinning:
+    @pytest.fixture
+    def phase_space(self, grid):
+        rng = np.random.default_rng(7)
+        x = rng.uniform(-1.0, 2 * grid.box_length, size=(5, 200))
+        v = rng.normal(0, 0.6, size=(5, 200))
+        return x, v
+
+    @pytest.mark.parametrize("order", ["ngp", "cic"])
+    def test_rows_match_single_run_bitwise(self, grid, phase_space, order):
+        x, v = phase_space
+        batched = bin_phase_space_batch(x, v, grid, order=order)
+        assert batched.shape == (5, grid.n_v, grid.n_x)
+        for b in range(5):
+            np.testing.assert_array_equal(batched[b], bin_phase_space(x[b], v[b], grid, order=order))
+
+    @pytest.mark.parametrize("order", ["ngp", "cic"])
+    def test_mass_invariant_per_row(self, grid, phase_space, order):
+        x, v = phase_space
+        batched = bin_phase_space_batch(x, v, grid, order=order)
+        np.testing.assert_allclose(batched.sum(axis=(1, 2)), x.shape[1], rtol=1e-12)
+
+    def test_batch_of_one(self, grid):
+        rng = np.random.default_rng(8)
+        x = rng.uniform(0, grid.box_length, 40)
+        v = rng.normal(0, 0.3, 40)
+        np.testing.assert_array_equal(
+            bin_phase_space_batch(x[None], v[None], grid)[0], bin_phase_space(x, v, grid)
+        )
+
+    def test_dtype_argument(self, grid):
+        out = bin_phase_space_batch(np.zeros((2, 3)), np.zeros((2, 3)), grid, dtype=np.float32)
+        assert out.dtype == np.float32
+
+    def test_1d_input_rejected(self, grid):
+        with pytest.raises(ValueError, match="batch"):
+            bin_phase_space_batch(np.zeros(3), np.zeros(3), grid)
+
+    def test_mismatched_shapes_rejected(self, grid):
+        with pytest.raises(ValueError):
+            bin_phase_space_batch(np.zeros((2, 3)), np.zeros((2, 4)), grid)
+
+    def test_unknown_order_rejected(self, grid):
+        with pytest.raises(ValueError, match="unknown binning order"):
+            bin_phase_space_batch(np.zeros((1, 2)), np.zeros((1, 2)), grid, order="tsc")
 
 
 class TestValidation:

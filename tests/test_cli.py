@@ -54,6 +54,71 @@ class TestSimulateCommand:
         assert "linearly stable" in capsys.readouterr().out
 
 
+class TestSweepCommand:
+    def _save_tiny_solver(self, tmp_path, n_cells=32):
+        from repro.config import SimulationConfig
+        from repro.dlpic import DLFieldSolver
+        from repro.models.architectures import build_mlp
+        from repro.phasespace.binning import PhaseSpaceGrid
+        from repro.phasespace.normalization import MinMaxNormalizer
+
+        config = SimulationConfig(n_cells=n_cells)
+        grid = PhaseSpaceGrid(n_x=16, n_v=8, box_length=config.box_length)
+        model = build_mlp(input_size=grid.size, output_size=n_cells, hidden_size=8, rng=0)
+        solver = DLFieldSolver(
+            model, grid, MinMaxNormalizer.from_dict({"minimum": 0.0, "maximum": 50.0})
+        )
+        return solver.save(tmp_path / "solver")
+
+    def test_traditional_sweep_runs(self, capsys, tmp_path):
+        out = tmp_path / "sweep.npz"
+        code = main([
+            "sweep", "--cells", "32", "--ppc", "20", "--steps", "4",
+            "--v0", "0.2", "--runs", "2", "--out", str(out),
+        ])
+        assert code == 0
+        assert "traditional solver" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_dl_sweep_runs_from_saved_solver(self, capsys, tmp_path):
+        model_dir = self._save_tiny_solver(tmp_path)
+        out = tmp_path / "dl-sweep.npz"
+        code = main([
+            "sweep", "--cells", "32", "--ppc", "20", "--steps", "4",
+            "--runs", "2", "--solver", "dl", "--model-dir", str(model_dir),
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert "dl solver" in capsys.readouterr().out
+        assert out.exists()
+        from repro.utils.io import load_npz_dict
+
+        series = load_npz_dict(out)
+        assert series["mode1"].shape == (5, 2)
+
+    def test_dl_sweep_requires_model_dir(self, capsys):
+        code = main(["sweep", "--solver", "dl", "--steps", "1"])
+        assert code == 2
+        assert "--model-dir" in capsys.readouterr().err
+
+    def test_dl_sweep_missing_model_dir_reports_cleanly(self, capsys, tmp_path):
+        code = main([
+            "sweep", "--solver", "dl", "--model-dir", str(tmp_path / "nope"),
+            "--steps", "1",
+        ])
+        assert code == 2
+        assert "cannot load a DL solver" in capsys.readouterr().err
+
+    def test_dl_sweep_incompatible_solver_reports_cleanly(self, capsys, tmp_path):
+        model_dir = self._save_tiny_solver(tmp_path, n_cells=32)
+        code = main([
+            "sweep", "--solver", "dl", "--model-dir", str(model_dir),
+            "--cells", "16", "--ppc", "10", "--steps", "1",
+        ])
+        assert code == 2
+        assert "incompatible" in capsys.readouterr().err
+
+
 class TestDatasetCommand:
     def test_fast_campaign_written(self, capsys, tmp_path):
         out = tmp_path / "data.npz"

@@ -1,0 +1,150 @@
+"""Batched DL-PIC: one network forward per ensemble step (ISSUE 2)."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.dlpic import DLEnsemble, DLFieldSolver, DLPIC
+from repro.models.architectures import build_cnn, build_mlp
+from repro.phasespace.binning import PhaseSpaceGrid
+from repro.phasespace.normalization import MinMaxNormalizer
+from repro.pic.simulation import EnsembleSimulation
+
+
+@pytest.fixture
+def config() -> SimulationConfig:
+    return SimulationConfig(n_cells=32, particles_per_cell=30, n_steps=6, vth=0.01, seed=0)
+
+
+def _solver(config: SimulationConfig, input_kind: str = "flat") -> DLFieldSolver:
+    grid = PhaseSpaceGrid(n_x=16, n_v=8, box_length=config.box_length)
+    if input_kind == "flat":
+        model = build_mlp(input_size=grid.size, output_size=config.n_cells,
+                          hidden_size=24, rng=0)
+    else:
+        model = build_cnn(input_shape=(1, grid.n_v, grid.n_x), output_size=config.n_cells,
+                          channels=(2, 2), hidden_size=16, rng=0)
+    norm = MinMaxNormalizer.from_dict({"minimum": 0.0, "maximum": 60.0})
+    return DLFieldSolver(model, grid, norm, input_kind=input_kind)
+
+
+class TestConstruction:
+    def test_batch_native_solver_not_lifted(self, config):
+        ens = DLEnsemble.from_config(config, 2, _solver(config))
+        assert isinstance(ens.field_solver, DLFieldSolver)
+
+    def test_plain_ensemble_accepts_dl_solver_natively(self, config):
+        """EnsembleSimulation itself drives the solver without lifting."""
+        ens = EnsembleSimulation.from_config(config, 2, field_solver=_solver(config))
+        assert isinstance(ens.field_solver, DLFieldSolver)
+        ens.step()
+        assert ens.efield.shape == (2, config.n_cells)
+
+    def test_non_dl_solver_rejected(self, config):
+        class NotDL:
+            def field(self, x, v):
+                return np.zeros(config.n_cells)
+
+        with pytest.raises(TypeError, match="DLFieldSolver"):
+            DLEnsemble.from_config(config, 2, NotDL())
+
+    def test_box_length_mismatch_rejected(self, config):
+        grid = PhaseSpaceGrid(n_x=16, n_v=8, box_length=999.0)
+        model = build_mlp(input_size=grid.size, output_size=config.n_cells,
+                          hidden_size=8, rng=0)
+        solver = DLFieldSolver(
+            model, grid, MinMaxNormalizer.from_dict({"minimum": 0.0, "maximum": 1.0})
+        )
+        with pytest.raises(ValueError, match="box length"):
+            DLEnsemble.from_config(config, 2, solver)
+
+    def test_dl_solver_property(self, config):
+        solver = _solver(config)
+        ens = DLEnsemble.from_config(config, 2, solver)
+        assert ens.dl_solver is solver
+
+
+class TestParity:
+    def test_batch_of_one_bitwise_identical_to_dlpic(self, config):
+        """The satellite regression: batch=1 through the ensemble path
+        reproduces a plain DLPIC run bit for bit."""
+        ens = DLEnsemble.from_config(config, 1, _solver(config))
+        ens.run(6)
+        single = DLPIC(config, _solver(config))
+        single.run(6)
+        np.testing.assert_array_equal(ens.particles.x[0], single.particles.x)
+        np.testing.assert_array_equal(ens.particles.v[0], single.particles.v)
+        np.testing.assert_array_equal(ens.efield[0], single.efield)
+        np.testing.assert_array_equal(ens.last_histograms[0], single.last_histogram)
+
+    @pytest.mark.parametrize("input_kind", ["flat", "image"])
+    def test_rows_bitwise_identical_to_sequential_runs(self, config, input_kind):
+        batch = 3
+        ens = DLEnsemble.from_config(config, batch, _solver(config, input_kind))
+        ens.run(6)
+        hists = ens.last_histograms.copy()
+        for b in range(batch):
+            single = DLPIC(config.with_updates(seed=config.seed + b),
+                           _solver(config, input_kind))
+            single.run(6)
+            np.testing.assert_array_equal(ens.particles.x[b], single.particles.x)
+            np.testing.assert_array_equal(ens.particles.v[b], single.particles.v)
+            np.testing.assert_array_equal(ens.efield[b], single.efield)
+            np.testing.assert_array_equal(hists[b], single.last_histogram)
+
+    def test_histories_match_sequential(self, config):
+        ens = DLEnsemble.from_config(config, 2, _solver(config))
+        series = ens.run(6).as_arrays()
+        for b in range(2):
+            single = DLPIC(config.with_updates(seed=config.seed + b), _solver(config))
+            single_series = single.run(6).as_arrays()
+            for key in ("kinetic", "potential", "total", "momentum", "mode1"):
+                np.testing.assert_array_equal(series[key][:, b], single_series[key])
+
+
+class TestBatchedSolverStage:
+    def test_one_histogram_per_member(self, config):
+        ens = DLEnsemble.from_config(config, 4, _solver(config))
+        ens.step()
+        assert ens.last_histograms.shape == (4, 8, 16)
+        np.testing.assert_allclose(
+            ens.last_histograms.sum(axis=(1, 2)), config.n_particles, rtol=1e-12
+        )
+
+    def test_fields_shape(self, config):
+        solver = _solver(config)
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, config.box_length, size=(5, 70))
+        v = rng.normal(0, 0.1, size=(5, 70))
+        out = solver.fields(x, v)
+        assert out.shape == (5, config.n_cells)
+        assert np.all(np.isfinite(out))
+
+    def test_field_dispatches_on_ndim(self, config):
+        solver = _solver(config)
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, config.box_length, size=(2, 50))
+        v = rng.normal(0, 0.1, size=(2, 50))
+        batched = solver.field(x, v)
+        assert batched.shape == (2, config.n_cells)
+        np.testing.assert_array_equal(solver.field(x[0], v[0]), batched[0])
+
+    def test_last_histogram_none_for_true_ensembles(self, config):
+        solver = _solver(config)
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, config.box_length, size=(3, 40))
+        v = rng.normal(0, 0.1, size=(3, 40))
+        solver.fields(x, v)
+        assert solver.last_histogram is None
+        assert solver.last_histograms.shape[0] == 3
+
+    def test_prepare_inputs_shapes(self, config):
+        solver = _solver(config)
+        hists = np.zeros((4, 8, 16))
+        assert solver.prepare_inputs(hists).shape == (4, 8 * 16)
+        image_solver = _solver(config, "image")
+        assert image_solver.prepare_inputs(hists).shape == (4, 1, 8, 16)
+
+    def test_prepare_inputs_wrong_shape_rejected(self, config):
+        with pytest.raises(ValueError, match="do not match"):
+            _solver(config).prepare_inputs(np.zeros((4, 3, 3)))

@@ -116,3 +116,25 @@ class TestPersistence:
         assert loaded.input_kind == "flat"
         assert loaded.binning == "ngp"
         assert loaded.normalizer.maximum == mlp_solver.normalizer.maximum
+
+    def test_load_auto_rebuilds_architecture(self, mlp_solver, ps_grid, tmp_path):
+        """No pre-built model needed: the checkpoint fingerprint is enough."""
+        mlp_solver.save(tmp_path / "solver")
+        loaded = DLFieldSolver.load_auto(tmp_path / "solver")
+        rng = np.random.default_rng(5)
+        x = rng.uniform(0, 2.0, 60)
+        v = rng.normal(size=60) * 0.2
+        np.testing.assert_array_equal(loaded.field(x, v), mlp_solver.field(x, v))
+
+    def test_load_auto_rebuilds_cnn(self, ps_grid, normalizer, tmp_path):
+        model = build_cnn(
+            input_shape=(1, ps_grid.n_v, ps_grid.n_x), output_size=6,
+            channels=(2, 2), hidden_size=8, rng=0,
+        )
+        solver = DLFieldSolver(model, ps_grid, normalizer, input_kind="image")
+        solver.save(tmp_path / "cnn")
+        loaded = DLFieldSolver.load_auto(tmp_path / "cnn")
+        rng = np.random.default_rng(6)
+        x = rng.uniform(0, 2.0, 60)
+        v = rng.normal(size=60) * 0.2
+        np.testing.assert_array_equal(loaded.field(x, v), solver.field(x, v))

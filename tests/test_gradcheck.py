@@ -94,7 +94,7 @@ class TestCompositeGradients:
         def scalar(inp):
             return loss.forward(model.forward(inp), y)
 
-        loss.forward(model.forward(x), y)
+        loss.forward(model.forward(x, training=True), y)
         analytic = model.backward(loss.backward())
         numeric = numerical_gradient(scalar, x.copy())
         np.testing.assert_allclose(analytic, numeric, atol=1e-6)
@@ -111,7 +111,7 @@ class TestCompositeGradients:
         y = _x((2, 3), seed=9)
 
         model.zero_grad()
-        loss.forward(model.forward(x), y)
+        loss.forward(model.forward(x, training=True), y)
         model.backward(loss.backward())
         analytic = conv.grads["W"].copy()
 

@@ -47,7 +47,7 @@ class TestDense:
 
     def test_zero_grad_resets(self):
         layer = Dense(2, 2, rng=0)
-        layer.forward(np.ones((1, 2)))
+        layer.forward(np.ones((1, 2)), training=True)
         layer.backward(np.ones((1, 2)))
         assert np.any(layer.grads["W"] != 0)
         layer.zero_grad()
@@ -55,10 +55,10 @@ class TestDense:
 
     def test_gradients_accumulate_across_backwards(self):
         layer = Dense(2, 2, rng=0)
-        layer.forward(np.ones((1, 2)))
+        layer.forward(np.ones((1, 2)), training=True)
         layer.backward(np.ones((1, 2)))
         g1 = layer.grads["W"].copy()
-        layer.forward(np.ones((1, 2)))
+        layer.forward(np.ones((1, 2)), training=True)
         layer.backward(np.ones((1, 2)))
         np.testing.assert_allclose(layer.grads["W"], 2 * g1)
 
@@ -70,7 +70,7 @@ class TestActivations:
 
     def test_relu_backward_masks(self):
         layer = ReLU()
-        layer.forward(np.array([[-1.0, 3.0]]))
+        layer.forward(np.array([[-1.0, 3.0]]), training=True)
         grad = layer.backward(np.array([[5.0, 5.0]]))
         np.testing.assert_allclose(grad, [[0.0, 5.0]])
 
@@ -123,7 +123,7 @@ class TestFlatten:
     def test_flatten_and_restore(self):
         layer = Flatten()
         x = np.arange(24, dtype=float).reshape(2, 3, 4)
-        flat = layer.forward(x)
+        flat = layer.forward(x, training=True)
         assert flat.shape == (2, 12)
         grad = layer.backward(np.ones_like(flat))
         assert grad.shape == x.shape
@@ -213,7 +213,7 @@ class TestMaxPool2D:
     def test_backward_routes_to_argmax(self):
         layer = MaxPool2D(2)
         x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
-        layer.forward(x)
+        layer.forward(x, training=True)
         grad = layer.backward(np.array([[[[10.0]]]]))
         expected = np.zeros_like(x)
         expected[0, 0, 1, 1] = 10.0
@@ -222,7 +222,7 @@ class TestMaxPool2D:
     def test_tie_breaks_to_first_occurrence(self):
         layer = MaxPool2D(2)
         x = np.full((1, 1, 2, 2), 5.0)
-        layer.forward(x)
+        layer.forward(x, training=True)
         grad = layer.backward(np.array([[[[8.0]]]]))
         assert grad[0, 0, 0, 0] == 8.0
         assert grad.sum() == 8.0  # gradient mass preserved, not duplicated
@@ -238,3 +238,78 @@ class TestMaxPool2D:
     def test_rectangular_pool(self):
         out = MaxPool2D((1, 2)).forward(np.zeros((1, 1, 3, 4)))
         assert out.shape == (1, 1, 3, 2)
+
+
+class TestInferenceMode:
+    """Evaluation-mode forwards: no backward caches, batch-invariant."""
+
+    def _cached_attrs(self, layer):
+        return {
+            name: getattr(layer, name)
+            for name in ("_x", "_mask", "_y", "_shape", "_x_padded", "_x_shape", "_argmax")
+            if hasattr(layer, name)
+        }
+
+    @pytest.mark.parametrize(
+        "layer,shape",
+        [
+            (Dense(6, 4, rng=0), (3, 6)),
+            (ReLU(), (3, 5)),
+            (Tanh(), (3, 5)),
+            (Sigmoid(), (3, 5)),
+            (Flatten(), (2, 3, 4)),
+            (Conv2D(1, 2, 3, padding="same", rng=1), (2, 1, 6, 6)),
+            (MaxPool2D(2), (2, 1, 4, 4)),
+        ],
+        ids=["dense", "relu", "tanh", "sigmoid", "flatten", "conv", "pool"],
+    )
+    def test_eval_forward_caches_nothing_and_backward_raises(self, layer, shape):
+        x = np.random.default_rng(0).normal(size=shape)
+        layer.forward(x, training=False)
+        for name, value in self._cached_attrs(layer).items():
+            assert value is None, f"{type(layer).__name__}.{name} cached in eval mode"
+        with pytest.raises(RuntimeError, match="backward called before forward"):
+            layer.backward(np.ones_like(layer.forward(x, training=False)))
+
+    @pytest.mark.parametrize(
+        "layer,shape",
+        [
+            (Dense(6, 4, rng=0), (3, 6)),
+            (Conv2D(1, 2, 3, padding="same", rng=1), (2, 1, 6, 6)),
+            (MaxPool2D(2), (2, 1, 4, 4)),
+        ],
+        ids=["dense", "conv", "pool"],
+    )
+    def test_eval_forward_matches_training_forward(self, layer, shape):
+        x = np.random.default_rng(1).normal(size=shape)
+        np.testing.assert_allclose(
+            layer.forward(x, training=False), layer.forward(x, training=True), rtol=1e-12
+        )
+
+    def test_eval_forward_clears_stale_training_cache(self):
+        layer = Dense(3, 2, rng=0)
+        layer.forward(np.ones((2, 3)), training=True)
+        layer.forward(np.ones((2, 3)), training=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((2, 2)))
+
+    @pytest.mark.parametrize("rows", [1, 2, 7, 16, 33])
+    def test_dense_eval_rows_bitwise_invariant_to_batch_size(self, rows):
+        """Row i of any batch equals the same row evaluated alone —
+        the fixed-width blocked GEMM contract the DL ensemble relies on."""
+        layer = Dense(37, 11, rng=2)
+        x = np.random.default_rng(3).normal(size=(rows, 37))
+        full = layer.forward(x, training=False)
+        for i in range(rows):
+            np.testing.assert_array_equal(
+                full[i], layer.forward(x[i : i + 1], training=False)[0]
+            )
+
+    def test_conv_eval_rows_bitwise_invariant_to_batch_size(self):
+        layer = Conv2D(2, 3, 3, padding="same", rng=4)
+        x = np.random.default_rng(5).normal(size=(6, 2, 8, 8))
+        full = layer.forward(x, training=False)
+        for i in range(6):
+            np.testing.assert_array_equal(
+                full[i], layer.forward(x[i : i + 1], training=False)[0]
+            )

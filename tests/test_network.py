@@ -26,7 +26,7 @@ class TestForwardBackward:
 
     def test_backward_returns_input_gradient_shape(self, model):
         x = np.random.default_rng(1).normal(size=(5, 4))
-        y = model.forward(x)
+        y = model.forward(x, training=True)
         grad = model.backward(np.ones_like(y))
         assert grad.shape == x.shape
 
@@ -51,6 +51,18 @@ class TestPredict:
         with pytest.raises(ValueError):
             model.predict(np.zeros((2, 4)), batch_size=0)
 
+    def test_preallocated_chunking_matches_one_shot(self, model):
+        """Multi-chunk predictions (preallocated output) equal the
+        single-forward result when chunks align with the GEMM blocks."""
+        x = np.random.default_rng(4).normal(size=(40, 4))
+        np.testing.assert_array_equal(model.predict(x, batch_size=16), model.predict(x))
+
+    def test_predict_rows_invariant_to_batch_size(self, model):
+        x = np.random.default_rng(5).normal(size=(9, 4))
+        full = model.predict(x)
+        for i in range(9):
+            np.testing.assert_array_equal(full[i], model.predict(x[i : i + 1])[0])
+
 
 class TestParameters:
     def test_n_parameters(self, model):
@@ -64,7 +76,7 @@ class TestParameters:
 
     def test_zero_grad_clears_all(self, model):
         x = np.ones((2, 4))
-        model.forward(x)
+        model.forward(x, training=True)
         model.backward(np.ones((2, 2)))
         model.zero_grad()
         for _, g in model.param_grad_pairs():
@@ -112,3 +124,42 @@ class TestPersistence:
         other = Sequential([Dense(4, 8, rng=0), ReLU(), Flatten(), Dense(8, 2, rng=0)])
         with pytest.raises(ValueError):
             other.load(path)
+
+    def test_from_saved_rebuilds_architecture_and_weights(self, model, tmp_path):
+        x = np.random.default_rng(6).normal(size=(3, 4))
+        expected = model.forward(x)
+        path = model.save(tmp_path / "model.npz")
+        clone = Sequential.from_saved(path)
+        assert [repr(a) for a in clone.layers] == [repr(a) for a in model.layers]
+        np.testing.assert_array_equal(clone.forward(x), expected)
+
+    def test_from_saved_rejects_unreconstructable_layer(self, tmp_path):
+        from repro.nn.layers import Dropout
+
+        model = Sequential([Dense(4, 4, rng=0), Dropout(0.5, rng=0), Dense(4, 2, rng=1)])
+        path = model.save(tmp_path / "model.npz")
+        with pytest.raises(ValueError, match="fingerprint"):
+            Sequential.from_saved(path)
+
+    def test_from_saved_never_executes_fingerprint_code(self, model, tmp_path):
+        """A checkpoint is data: hostile fingerprints must be rejected,
+        not evaluated."""
+        import json as _json
+
+        path = model.save(tmp_path / "model.npz")
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        canary = tmp_path / "pwned"
+        for payload in [
+            f"__import__('pathlib').Path({str(canary)!r}).touch()",
+            "().__class__.__base__.__subclasses__()",
+            "Dense(4, 8).forward",
+            "[Dense(4, 8) for _ in range(1)][0]",
+        ]:
+            arrays["__architecture__"] = np.frombuffer(
+                _json.dumps([payload, "ReLU()", "Dense(8, 2)"]).encode(), dtype=np.uint8
+            )
+            np.savez_compressed(path, **arrays)
+            with pytest.raises(ValueError, match="fingerprint"):
+                Sequential.from_saved(path)
+            assert not canary.exists()

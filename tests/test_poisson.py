@@ -183,3 +183,42 @@ class TestFacade:
             PoissonSolver(grid, method="amg")
         with pytest.raises(ValueError):
             PoissonSolver(grid, gradient="bad")
+
+
+class TestCachedSymbols:
+    """The facade's per-grid FFT symbol cache (ISSUE 2 satellite):
+    precomputed wavenumbers/eigenvalues must change nothing, bitwise."""
+
+    @pytest.mark.parametrize("method", ["spectral", "fd", "direct"])
+    @pytest.mark.parametrize("gradient", ["central", "spectral"])
+    def test_facade_bitwise_equals_module_functions(self, grid, method, gradient):
+        rng = np.random.default_rng(6)
+        rho = rng.normal(size=grid.n_cells)
+        solver = PoissonSolver(grid, method=method, gradient=gradient)
+        phi, e = solver.solve(rho)
+        phi_ref = SOLVERS[method](grid, rho)
+        np.testing.assert_array_equal(phi, phi_ref)
+        np.testing.assert_array_equal(
+            e, electric_field_from_potential(grid, phi_ref, gradient)
+        )
+
+    @pytest.mark.parametrize("method", ["spectral", "fd"])
+    def test_facade_bitwise_equals_module_functions_batched(self, grid, method):
+        rng = np.random.default_rng(7)
+        rho = rng.normal(size=(4, grid.n_cells))
+        solver = PoissonSolver(grid, method=method)
+        phi, e = solver.solve(rho)
+        np.testing.assert_array_equal(phi, SOLVERS[method](grid, rho))
+
+    def test_symbols_computed_once(self, grid):
+        solver = PoissonSolver(grid)
+        k_before = solver._k
+        solver.solve(np.sin(grid.nodes))
+        solver.solve(np.cos(grid.nodes))
+        assert solver._k is k_before  # reused, not rebuilt
+
+    def test_eps0_folded_into_cache(self, grid):
+        rho = np.sin(grid.nodes)
+        phi_scaled, _ = PoissonSolver(grid, eps0=2.0).solve(rho)
+        phi_default, _ = PoissonSolver(grid).solve(rho)
+        np.testing.assert_allclose(phi_scaled, 0.5 * phi_default, atol=1e-12)
