@@ -1,9 +1,11 @@
 """Command-line interface.
 
-Five subcommands mirror the library's main workflows::
+Seven subcommands mirror the library's main workflows::
 
     python -m repro.cli simulate   # run a traditional PIC two-stream sim
     python -m repro.cli sweep      # run a batched ensemble of scenarios
+    python -m repro.cli serve      # drain JSONL requests through the service
+    python -m repro.cli scenarios  # list registered initial conditions
     python -m repro.cli dataset    # generate a training campaign
     python -m repro.cli train      # train the DL solvers (Sec. IV pipeline)
     python -m repro.cli reproduce  # regenerate a paper table/figure
@@ -79,6 +81,41 @@ def _add_sweep(sub: "argparse._SubParsersAction") -> None:
     p.add_argument("--out", default=None, help="save the batched histories to this .npz")
 
 
+def _add_serve(sub: "argparse._SubParsersAction") -> None:
+    p = sub.add_parser(
+        "serve",
+        help="drain a JSONL request stream through the micro-batching simulation service",
+        description=(
+            "Read one JSON request per line (SimulationConfig fields plus optional "
+            "'id' and 'solver' keys), coalesce compatible requests into batched "
+            "ensemble executions, dedup repeats against the content-addressed "
+            "result store, and write per-request results + a manifest."
+        ),
+    )
+    p.add_argument("--requests", default="-",
+                   help="JSONL request file, or '-' for stdin (default)")
+    p.add_argument("--store", default=None,
+                   help="directory for the on-disk result store (<key>.npz per run)")
+    p.add_argument("--manifest", default=None,
+                   help="write a JSON manifest mapping request ids to result keys/files")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="flush a compatibility group at this many requests")
+    p.add_argument("--max-wait", type=float, default=0.02,
+                   help="deadline (s) after which a partial group flushes anyway")
+    p.add_argument("--capacity", type=int, default=256,
+                   help="in-memory LRU slots of the result store")
+    p.add_argument("--model-dir", default=None,
+                   help="DLFieldSolver.save directory backing requests with solver=dl")
+
+
+def _add_scenarios(sub: "argparse._SubParsersAction") -> None:
+    sub.add_parser(
+        "scenarios",
+        help="list registered initial-condition scenarios",
+        description="One line per registry entry: name + first docstring line.",
+    )
+
+
 def _add_dataset(sub: "argparse._SubParsersAction") -> None:
     p = sub.add_parser("dataset", help="generate a training data campaign")
     p.add_argument("--preset", choices=["fast", "medium", "paper"], default="fast")
@@ -111,6 +148,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_simulate(sub)
     _add_sweep(sub)
+    _add_serve(sub)
+    _add_scenarios(sub)
     _add_dataset(sub)
     _add_train(sub)
     _add_reproduce(sub)
@@ -215,6 +254,126 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os.path
+    import time
+
+    from repro.service import ResultStore, SimulationService, read_requests
+
+    if args.requests == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            with open(args.requests) as fh:
+                lines = fh.read().splitlines()
+        except OSError as exc:
+            print(f"error: cannot read {args.requests!r}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        requests = read_requests(lines)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not requests:
+        print("error: no requests in the input stream", file=sys.stderr)
+        return 2
+    ids = [req.id for req in requests]
+    if len(set(ids)) != len(ids):
+        print("error: duplicate request ids in the input stream", file=sys.stderr)
+        return 2
+    dl_solver = None
+    if any(req.solver == "dl" for req in requests):
+        if args.model_dir is None:
+            print("error: requests with solver=dl need --model-dir", file=sys.stderr)
+            return 2
+        from repro.dlpic import DLFieldSolver
+
+        try:
+            dl_solver = DLFieldSolver.load_auto(args.model_dir)
+        except (OSError, KeyError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: cannot load a DL solver from {args.model_dir!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    store = ResultStore(capacity=args.capacity, directory=args.store)
+    start = time.perf_counter()
+    with SimulationService(
+        max_batch_size=args.max_batch, max_wait=args.max_wait,
+        store=store, dl_solver=dl_solver,
+    ) as service:
+        try:
+            submitted = [
+                (req, *service.submit_with_status(req.config, req.solver))
+                for req in requests
+            ]
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        entries = []
+        n_failed = 0
+        print(f"{'id':>16} {'scenario':>20} {'solver':>12} {'status':>9} "
+              f"{'max E1':>10} {'dE/E':>8}")
+        for req, future, status in submitted:
+            entry = {
+                "id": req.id,
+                "solver": req.solver,
+                "scenario": req.config.scenario,
+                "n_steps": req.config.n_steps,
+                "status": status,
+            }
+            try:
+                result = future.result()
+            except Exception as exc:  # noqa: BLE001 — report per request
+                n_failed += 1
+                entry["error"] = str(exc)
+                print(f"{req.id:>16} {req.config.scenario:>20} {req.solver:>12} "
+                      f"{'ERROR':>9}  {exc}")
+            else:
+                entry["key"] = result.key
+                # Record the archive only if the write-through actually
+                # landed (a full disk degrades the store to a cache
+                # miss, not a lying manifest).
+                if args.store and os.path.exists(
+                    os.path.join(args.store, f"{result.key}.npz")
+                ):
+                    entry["file"] = f"{result.key}.npz"
+                mode1 = result.series["mode1"]
+                energy_var = result.energy_variation()
+                entry["max_mode1"] = float(mode1.max())
+                entry["energy_variation"] = energy_var
+                print(f"{req.id:>16} {req.config.scenario:>20} {req.solver:>12} "
+                      f"{status:>9} {mode1.max():>10.2e} {energy_var:>8.2%}")
+            entries.append(entry)
+        stats = service.stats
+    elapsed = time.perf_counter() - start
+    print(f"served {len(requests)} requests in {elapsed * 1e3:.0f} ms "
+          f"({len(requests) / elapsed:.1f} req/s): "
+          f"{stats['batches']} engine batches, {stats['executed_runs']} runs executed, "
+          f"{stats['cache_hits']} store hits, {stats['dedup_hits']} in-flight dedups")
+    if stats["store_errors"]:
+        print(f"warning: {stats['store_errors']} result(s) could not be written "
+              f"to the store", file=sys.stderr)
+    if args.manifest:
+        manifest = {
+            "requests": entries,
+            "stats": {**stats, "elapsed_s": elapsed},
+            "store_directory": args.store,
+        }
+        with open(args.manifest, "w") as fh:
+            json.dump(manifest, fh, indent=2)
+        print(f"manifest saved to {args.manifest}")
+    return 1 if n_failed else 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.pic.scenarios import scenario_summaries
+
+    summaries = scenario_summaries()
+    width = max(len(name) for name in summaries)
+    for name, doc in summaries.items():
+        print(f"{name:<{width}}  {doc}")
+    return 0
+
+
 def _cmd_dataset(args: argparse.Namespace) -> int:
     from repro.datagen import fast_campaign, medium_campaign, paper_campaign, run_campaign
 
@@ -287,6 +446,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
+    "scenarios": _cmd_scenarios,
     "dataset": _cmd_dataset,
     "train": _cmd_train,
     "reproduce": _cmd_reproduce,

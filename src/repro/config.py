@@ -8,13 +8,73 @@ electrostatic PIC run.  The defaults reproduce the paper's setup
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any
+import copy
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping
 
 from repro import constants
 
 
-@dataclass(frozen=True)
+def _canonical(value: Any) -> Any:
+    """Order-independent, hashable canonical form of an ``extra`` value.
+
+    Dicts become sorted ``(key, value)`` tuples, sequences become
+    tuples, scalars pass through — so two configs whose ``extra`` dicts
+    hold the same content in different insertion order (or with lists
+    vs tuples) compare and hash equal.
+    """
+    if isinstance(value, Mapping):
+        return ("__map__",) + tuple(
+            sorted((str(k), _canonical(v)) for k, v in value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return ("__seq__",) + tuple(_canonical(v) for v in value)
+    return value
+
+
+def _check_string_keys(value: Any) -> None:
+    """Require string keys in ``extra`` (recursively).
+
+    JSON only has string keys, and allowing e.g. ``1`` alongside
+    ``"1"`` would let two unequal configs serialize to the same cache
+    key — the one collision the content-addressed store must never
+    have.
+    """
+    if isinstance(value, Mapping):
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise ValueError(
+                    f"extra keys must be strings, got {k!r} ({type(k).__name__})"
+                )
+            _check_string_keys(v)
+    elif isinstance(value, (list, tuple)):
+        for v in value:
+            _check_string_keys(v)
+
+
+def _json_ready(value: Any) -> Any:
+    """JSON-safe form whose serialization matches python equality.
+
+    Python compares ``True == 1 == 1.0``, so numbers that equal an
+    integer collapse to that integer (bools first: ``bool`` is an
+    ``int`` subclass) and mapping keys become strings — two configs
+    that compare equal always serialize, and therefore cache-key, the
+    same.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, Mapping):
+        return {str(k): _json_ready(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_ready(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True, eq=False)
 class SimulationConfig:
     """Parameters of a single two-stream PIC simulation.
 
@@ -64,6 +124,12 @@ class SimulationConfig:
         ``"bump_on_tail"`` or ``"random_perturbation"``.  Membership is
         validated against the registry at load time so user-registered
         scenarios round-trip through the config unhindered.
+    extra:
+        Free-form scenario parameters (e.g. ``bump_fraction`` for
+        ``bump_on_tail``).  Must be a JSON-style dict; it participates
+        in equality, hashing and :meth:`cache_key` through a
+        canonicalized (order-independent) form, so two configs that
+        differ only in ``extra`` are *different* runs.
     """
 
     box_length: float = constants.TWO_STREAM_BOX_LENGTH
@@ -82,7 +148,9 @@ class SimulationConfig:
     perturbation_mode: int = 1
     seed: int = 0
     scenario: str = "two_stream"
-    extra: dict[str, Any] = field(default_factory=dict, compare=False)
+    # Identity (eq/hash/cache_key) is hand-rolled below so the mutable
+    # extra dict can participate through its canonicalized form.
+    extra: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.box_length <= 0:
@@ -107,6 +175,25 @@ class SimulationConfig:
             raise ValueError(f"unknown loading {self.loading!r}")
         if not isinstance(self.scenario, str) or not self.scenario:
             raise ValueError(f"scenario must be a non-empty string, got {self.scenario!r}")
+        if not isinstance(self.extra, dict):
+            raise ValueError(f"extra must be a dict, got {type(self.extra).__name__}")
+        _check_string_keys(self.extra)
+
+    # -- identity --------------------------------------------------------
+    def _identity(self) -> tuple:
+        """Value tuple that defines equality/hashing (canonical ``extra``)."""
+        vals = tuple(
+            getattr(self, f.name) for f in fields(self) if f.name != "extra"
+        )
+        return vals + (_canonical(self.extra),)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        return self._identity() == other._identity()
+
+    def __hash__(self) -> int:
+        return hash(self._identity())
 
     @property
     def n_particles(self) -> int:
@@ -129,8 +216,70 @@ class SimulationConfig:
         return self.particle_charge / self.qm
 
     def with_updates(self, **kwargs: Any) -> "SimulationConfig":
-        """Return a copy with the given fields replaced."""
+        """Return a copy with the given fields replaced.
+
+        ``extra`` is always deep-copied into the new config (whether
+        inherited or passed in), so no two configs ever alias the same
+        mutable dict — mutating one run's scenario parameters cannot
+        silently retag another's.
+        """
+        kwargs["extra"] = copy.deepcopy(kwargs.get("extra", self.extra))
         return replace(self, **kwargs)
+
+    # -- canonical serialization ----------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """All fields as a JSON-style dict (``extra`` deep-copied).
+
+        Together with :meth:`from_dict` this is an exact round trip:
+        ``SimulationConfig.from_dict(cfg.to_dict()) == cfg`` for every
+        valid config.  This is the service request format and the basis
+        of :meth:`cache_key`.
+        """
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["extra"] = copy.deepcopy(self.extra)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationConfig":
+        """Build a config from a :meth:`to_dict`-style mapping.
+
+        Missing fields take their defaults; unknown keys are rejected
+        (a typo like ``nsteps`` must not silently produce the default
+        run).  The provided ``extra`` dict is deep-copied.
+        """
+        names = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - names)
+        if unknown:
+            raise ValueError(
+                f"unknown config key(s) {', '.join(map(repr, unknown))}; "
+                f"valid keys: {', '.join(sorted(names))}"
+            )
+        kwargs = dict(data)
+        if "extra" in kwargs:
+            if not isinstance(kwargs["extra"], Mapping):
+                raise ValueError(
+                    f"extra must be a mapping, got {type(kwargs['extra']).__name__}"
+                )
+            kwargs["extra"] = copy.deepcopy(dict(kwargs["extra"]))
+        return cls(**kwargs)
+
+    def cache_key(self) -> str:
+        """Content hash of the canonical serialization (hex sha256).
+
+        Two equal configs map to the same key, and any field difference
+        — including ``extra`` — changes it, so a result store keyed by
+        ``cache_key`` can never serve the wrong run.  Requires ``extra``
+        to be JSON-serializable.
+        """
+        try:
+            payload = json.dumps(
+                _json_ready(self.to_dict()), sort_keys=True, separators=(",", ":")
+            )
+        except TypeError as exc:
+            raise ValueError(
+                f"config.extra is not JSON-serializable, cannot build a cache key: {exc}"
+            ) from None
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def paper_validation_config(seed: int = 0, **overrides: Any) -> SimulationConfig:

@@ -19,6 +19,7 @@ identical to the corresponding single run (see ``repro.nn.layers``).
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -146,6 +147,35 @@ class DLFieldSolver:
         if x.ndim == 2:
             return self.fields(x, v)
         return self.fields(x[None], v[None])[0]
+
+    def fingerprint(self) -> str:
+        """Content hash of the solver (architecture + weights + preprocessing).
+
+        Two solvers with the same fingerprint predict identical fields
+        for identical inputs, so the simulation service folds this into
+        the result-store key of DL runs — results produced by one model
+        can never be served for a request against another.
+        """
+        h = hashlib.sha256()
+        h.update(json.dumps([repr(layer) for layer in self.model.layers]).encode("utf-8"))
+        state = self.model.state_dict()
+        for key in sorted(state):
+            h.update(key.encode("utf-8"))
+            h.update(np.ascontiguousarray(state[key]).tobytes())
+        meta = {
+            "input_kind": self.input_kind,
+            "binning": self.binning,
+            "normalizer": self.normalizer.to_dict(),
+            "ps_grid": {
+                "n_x": self.ps_grid.n_x,
+                "n_v": self.ps_grid.n_v,
+                "box_length": self.ps_grid.box_length,
+                "v_min": self.ps_grid.v_min,
+                "v_max": self.ps_grid.v_max,
+            },
+        }
+        h.update(json.dumps(meta, sort_keys=True).encode("utf-8"))
+        return h.hexdigest()
 
     # -- persistence -----------------------------------------------------
     def save(self, directory: "str | Path") -> Path:

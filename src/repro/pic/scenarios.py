@@ -47,6 +47,7 @@ Register additional scenarios with the decorator::
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -75,6 +76,19 @@ def register_scenario(name: str) -> Callable[[ScenarioFactory], ScenarioFactory]
 def available_scenarios() -> tuple[str, ...]:
     """Sorted names of every registered scenario."""
     return tuple(sorted(_REGISTRY))
+
+
+def scenario_summaries() -> dict[str, str]:
+    """Name -> first docstring line of every registered scenario.
+
+    The one-line descriptions backing ``repro scenarios``; factories
+    without a docstring get an empty string.
+    """
+    out: dict[str, str] = {}
+    for name in available_scenarios():
+        doc = inspect.getdoc(_REGISTRY[name]) or ""
+        out[name] = doc.splitlines()[0] if doc else ""
+    return out
 
 
 def get_scenario(name: str) -> ScenarioFactory:

@@ -1,0 +1,117 @@
+"""Dynamic micro-batching of compatible simulation requests.
+
+Requests are bucketed by :func:`group_key` — the structural config
+fields the batched engines require to agree across an ensemble
+(``repro.pic.simulation.STRUCTURAL_FIELDS``) plus ``n_steps`` and the
+solver family.  Within a bucket the batcher applies the classic
+dynamic-batching policy: a group is released as soon as it reaches
+``max_batch_size``, or when its oldest request has waited ``max_wait``
+seconds (deadline flush), whichever comes first.  Incompatible configs
+can therefore never be co-batched: they live in different buckets by
+construction.
+
+The batcher is a pure data structure driven by an explicit clock
+(every method takes ``now``), which keeps the flush policy unit-testable
+without threads or sleeps; :class:`~repro.service.service.SimulationService`
+provides the locking and the real clock.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.config import SimulationConfig
+from repro.pic.simulation import STRUCTURAL_FIELDS
+
+# Fields every member of one engine batch must share.  The structural
+# fields are the engine's hard constraint; n_steps keeps one run() call
+# per group, and the solver family picks the engine itself.
+GROUP_FIELDS = STRUCTURAL_FIELDS + ("n_steps",)
+
+
+def group_key(config: SimulationConfig, solver: str = "traditional") -> Hashable:
+    """Compatibility bucket of a request (hashable tuple)."""
+    return tuple(getattr(config, name) for name in GROUP_FIELDS) + (solver,)
+
+
+@dataclass
+class PendingRequest:
+    """A submitted run waiting to be batched."""
+
+    key: str  # content address (store/in-flight slot)
+    config: SimulationConfig
+    solver: str
+    future: "Future[object]"
+    submitted_at: float = field(default_factory=time.monotonic)
+
+
+class MicroBatcher:
+    """Groups pending requests and decides when each group flushes."""
+
+    def __init__(self, max_batch_size: int = 16, max_wait: float = 0.02) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be non-negative, got {max_wait}")
+        self.max_batch_size = max_batch_size
+        self.max_wait = max_wait
+        self._groups: "dict[Hashable, list[PendingRequest]]" = {}
+
+    def __len__(self) -> int:
+        """Total number of pending requests across all groups."""
+        return sum(len(group) for group in self._groups.values())
+
+    @property
+    def n_groups(self) -> int:
+        return len(self._groups)
+
+    def add(self, request: PendingRequest) -> None:
+        """File a request under its compatibility bucket."""
+        self._groups.setdefault(group_key(request.config, request.solver), []).append(request)
+
+    def take_ready(self, now: "float | None" = None) -> list[list[PendingRequest]]:
+        """Pop and return every group due for execution.
+
+        A group is due when it holds ``max_batch_size`` requests or its
+        oldest request was submitted more than ``max_wait`` ago.  A
+        bucket due by *age* flushes whole (split into
+        ``max_batch_size`` chunks if requests piled up before the
+        worker woke); a bucket due by *size* releases only full chunks
+        — the remainder keeps waiting for company until its own
+        deadline.
+        """
+        if now is None:
+            now = time.monotonic()
+        ready: list[list[PendingRequest]] = []
+        for key in list(self._groups):
+            group = self._groups[key]
+            if now - group[0].submitted_at >= self.max_wait:
+                del self._groups[key]
+                ready.extend(self._chunk(group))
+                continue
+            while len(group) >= self.max_batch_size:
+                ready.append(group[: self.max_batch_size])
+                del group[: self.max_batch_size]
+            if not group:
+                del self._groups[key]
+        return ready
+
+    def drain(self) -> list[list[PendingRequest]]:
+        """Pop everything regardless of size or age (shutdown/flush)."""
+        groups = [chunk for g in self._groups.values() for chunk in self._chunk(g)]
+        self._groups.clear()
+        return groups
+
+    def next_deadline(self) -> "float | None":
+        """Earliest monotonic time any pending group must flush at."""
+        oldest = [group[0].submitted_at for group in self._groups.values()]
+        return min(oldest) + self.max_wait if oldest else None
+
+    def _chunk(self, group: list[PendingRequest]) -> list[list[PendingRequest]]:
+        return [
+            group[i: i + self.max_batch_size]
+            for i in range(0, len(group), self.max_batch_size)
+        ]

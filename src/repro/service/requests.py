@@ -1,0 +1,77 @@
+"""JSONL request format shared by ``repro serve`` and the tests.
+
+One request per line, each a JSON object of
+:meth:`SimulationConfig.to_dict` fields (missing fields take the config
+defaults, unknown keys are rejected) plus two reserved, optional keys::
+
+    {"scenario": "two_stream", "v0": 0.2, "seed": 3,
+     "id": "my-run", "solver": "traditional"}
+
+``id``
+    Caller's name for the request (defaults to ``request-<line#>``,
+    1-based); echoed in the manifest so responses can be correlated.
+``solver``
+    Engine family: ``"traditional"`` (default) or ``"dl"``.
+
+Blank lines and ``#`` comment lines are skipped.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.config import SimulationConfig
+from repro.pic.scenarios import get_scenario
+from repro.service.store import SOLVER_FAMILIES
+
+RESERVED_KEYS = ("id", "solver")
+
+
+@dataclass
+class ServiceRequest:
+    """A parsed request line: the config plus routing metadata."""
+
+    config: SimulationConfig
+    solver: str = "traditional"
+    id: str = ""
+
+
+def parse_request(obj: dict, index: int = 0) -> ServiceRequest:
+    """Build a :class:`ServiceRequest` from one decoded JSONL object.
+
+    ``index`` (the 1-based input line number when coming from
+    :func:`read_requests`) names requests without an explicit ``id``.
+    The scenario is validated against the registry here so a typo
+    fails the parse, not the engine.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError(f"request must be a JSON object, got {type(obj).__name__}")
+    payload = dict(obj)
+    request_id = str(payload.pop("id", f"request-{index}"))
+    solver = str(payload.pop("solver", "traditional"))
+    if solver not in SOLVER_FAMILIES:
+        raise ValueError(
+            f"unknown solver {solver!r}; expected one of {SOLVER_FAMILIES}"
+        )
+    config = SimulationConfig.from_dict(payload)
+    get_scenario(config.scenario)
+    return ServiceRequest(config=config, solver=solver, id=request_id)
+
+
+def read_requests(lines: Iterable[str]) -> list[ServiceRequest]:
+    """Parse a JSONL stream; errors carry the 1-based line number."""
+    requests: list[ServiceRequest] = []
+    for lineno, line in enumerate(lines, 1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        try:
+            obj = json.loads(text)
+            requests.append(parse_request(obj, index=lineno))
+        except (json.JSONDecodeError, ValueError, TypeError) as exc:
+            # TypeError covers wrong-typed JSON values (e.g. a string
+            # where the config validators compare numbers).
+            raise ValueError(f"request line {lineno}: {exc}") from None
+    return requests

@@ -1,0 +1,297 @@
+"""The micro-batching simulation service.
+
+:class:`SimulationService` turns the batched engines into a
+request/response system: callers submit :class:`SimulationConfig`-keyed
+run requests and get back futures, while a background worker coalesces
+compatible pending requests (same grid, step count, interpolation,
+solver family — see ``repro.service.batcher``) and executes each group
+through ONE :class:`~repro.pic.simulation.EnsembleSimulation` /
+:class:`~repro.dlpic.DLEnsemble`, so N independently arriving requests
+cost one set of vectorized steps instead of N Python loops.  Because
+every batched kernel is bitwise identical per row to its single-run
+form, each served result is bitwise identical to running that config
+alone.
+
+Requests are deduplicated at two levels before they ever reach an
+engine:
+
+* **store hits** — the content-addressed :class:`ResultStore` is
+  consulted at submit time; a known key returns an already-resolved
+  future without queueing anything;
+* **in-flight dedup** — a second submit of a key that is currently
+  queued or executing returns the *same* future (one engine row serves
+  every duplicate requester).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+from typing import TYPE_CHECKING
+
+from repro.config import SimulationConfig
+from repro.pic.scenarios import get_scenario
+from repro.service.batcher import MicroBatcher, PendingRequest
+from repro.service.store import ResultStore, SimulationResult, result_key
+
+if TYPE_CHECKING:
+    from repro.dlpic.solver import DLFieldSolver
+
+# Submit outcomes reported by ``submit_with_status``.
+STATUS_QUEUED = "queued"
+STATUS_CACHED = "cached"
+STATUS_INFLIGHT = "inflight"
+
+
+class SimulationService:
+    """Accepts run requests, micro-batches them, returns futures.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Largest ensemble one engine call may advance; a compatibility
+        group flushes as soon as it reaches this size.
+    max_wait:
+        Deadline (seconds) after which a partial group flushes anyway —
+        the latency bound a lone request pays for batching.
+    store:
+        Result store; defaults to a memory-only LRU.  Pass a store with
+        a ``directory`` for a persistent on-disk tier.
+    dl_solver:
+        Optional :class:`~repro.dlpic.DLFieldSolver` backing requests
+        with ``solver="dl"``.  Its weight fingerprint becomes part of
+        those requests' store keys.
+    start:
+        Start the background worker thread (default).  With
+        ``start=False`` the service is fully synchronous: submissions
+        queue up until :meth:`flush` executes them on the caller's
+        thread — deterministic, thread-free operation for tests and
+        one-shot drains.
+    """
+
+    def __init__(
+        self,
+        max_batch_size: int = 16,
+        max_wait: float = 0.02,
+        store: "ResultStore | None" = None,
+        dl_solver: "DLFieldSolver | None" = None,
+        start: bool = True,
+    ) -> None:
+        self.store = store if store is not None else ResultStore()
+        self._batcher = MicroBatcher(max_batch_size=max_batch_size, max_wait=max_wait)
+        self._dl_solver = dl_solver
+        self._dl_fingerprint: "str | None" = None
+        self._inflight: "dict[str, Future[SimulationResult]]" = {}
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._closed = False
+        self._stats = {
+            "requests": 0,
+            "cache_hits": 0,
+            "dedup_hits": 0,
+            "batches": 0,
+            "executed_runs": 0,
+            "errors": 0,
+            "store_errors": 0,
+        }
+        self._thread: "threading.Thread | None" = None
+        if start:
+            self._thread = threading.Thread(
+                target=self._worker, name="simulation-service", daemon=True
+            )
+            self._thread.start()
+
+    # -- public API ------------------------------------------------------
+    def submit(
+        self, config: SimulationConfig, solver: str = "traditional"
+    ) -> "Future[SimulationResult]":
+        """Request a run; the future resolves to a :class:`SimulationResult`."""
+        return self.submit_with_status(config, solver)[0]
+
+    def submit_with_status(
+        self, config: SimulationConfig, solver: str = "traditional"
+    ) -> "tuple[Future[SimulationResult], str]":
+        """Like :meth:`submit`, also reporting how the request was met.
+
+        Returns ``(future, status)`` with status one of ``"cached"``
+        (served from the result store without queueing), ``"inflight"``
+        (coalesced onto an identical request already queued or running;
+        the same future object is returned) or ``"queued"`` (filed with
+        the micro-batcher).
+        """
+        get_scenario(config.scenario)  # fail fast on unknown scenarios
+        key = self._result_key(config, solver)
+        # The store is thread-safe and possibly disk-backed: consult it
+        # outside the service lock so a multi-ms archive read never
+        # stalls other submitters or the worker.
+        cached = self.store.get(key)
+        with self._wake:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            self._stats["requests"] += 1
+            if cached is not None:
+                self._stats["cache_hits"] += 1
+                future: "Future[SimulationResult]" = Future()
+                future.set_result(cached)
+                return future, STATUS_CACHED
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                self._stats["dedup_hits"] += 1
+                return inflight, STATUS_INFLIGHT
+            future = Future()
+            self._inflight[key] = future
+            self._batcher.add(
+                PendingRequest(key=key, config=config, solver=solver, future=future)
+            )
+            self._wake.notify()
+            return future, STATUS_QUEUED
+
+    def flush(self) -> None:
+        """Execute every pending group now, on the calling thread.
+
+        Groups are popped under the lock and run without it, so a
+        concurrent worker can keep serving other groups; with
+        ``start=False`` this is the only way requests execute.
+        """
+        with self._wake:
+            groups = self._batcher.drain()
+        for group in groups:
+            self._execute(group)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Counters snapshot (requests, hits, batches, executed runs...)."""
+        with self._lock:
+            out = dict(self._stats)
+            out["pending"] = len(self._batcher)
+            out["store_hits"] = self.store.hits
+            out["store_disk_hits"] = self.store.disk_hits
+            out["store_misses"] = self.store.misses
+        return out
+
+    def close(self) -> None:
+        """Drain pending work, resolve all futures, stop the worker."""
+        with self._wake:
+            if self._closed:
+                return
+            self._closed = True
+            self._wake.notify_all()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        else:
+            self.flush()
+
+    def __enter__(self) -> "SimulationService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- internals -------------------------------------------------------
+    def _result_key(self, config: SimulationConfig, solver: str) -> str:
+        if solver == "dl":
+            if self._dl_solver is None:
+                raise ValueError(
+                    "this service has no DL solver; construct it with dl_solver=..."
+                )
+            if self._dl_fingerprint is None:
+                self._dl_fingerprint = self._dl_solver.fingerprint()
+            return result_key(config, solver, solver_fingerprint=self._dl_fingerprint)
+        return result_key(config, solver)
+
+    def _worker(self) -> None:
+        while True:
+            with self._wake:
+                groups = self._batcher.take_ready()
+                while not groups and not self._closed:
+                    deadline = self._batcher.next_deadline()
+                    timeout = None if deadline is None else max(0.0, deadline - time.monotonic())
+                    self._wake.wait(timeout)
+                    groups = self._batcher.take_ready()
+                if self._closed and not groups:
+                    groups = self._batcher.drain()
+                    if not groups:
+                        return
+            for group in groups:
+                self._execute(group)
+
+    def _execute(self, group: "list[PendingRequest]") -> None:
+        """Run one compatibility group through the batched engine.
+
+        Never raises: engine failures travel to every requester via
+        their futures, and a result-store write failure degrades to a
+        cache miss rather than losing the run — the worker thread must
+        survive anything a group throws at it.
+        """
+        configs = [request.config for request in group]
+        try:
+            if group[0].solver == "dl":
+                from repro.dlpic.simulation import DLEnsemble
+
+                sim = DLEnsemble(configs, self._dl_solver)
+            else:
+                from repro.pic.simulation import EnsembleSimulation
+
+                sim = EnsembleSimulation(configs)
+            history = sim.run(configs[0].n_steps)
+            series = history.as_arrays()
+        except Exception as exc:  # noqa: BLE001 — failures travel via futures
+            with self._lock:
+                self._stats["errors"] += 1
+                for request in group:
+                    self._inflight.pop(request.key, None)
+            for request in group:
+                self._resolve(request.future, exception=exc)
+            return
+        with self._lock:
+            self._stats["batches"] += 1
+        try:
+            for b, request in enumerate(group):
+                result = SimulationResult(
+                    key=request.key,
+                    config=request.config,
+                    solver=request.solver,
+                    series={
+                        name: (values.copy() if name == "time" else values[:, b].copy())
+                        for name, values in series.items()
+                    },
+                    efield=sim.efield[b].copy(),
+                )
+                try:
+                    # Thread-safe store; keep the (possibly compressed-npz)
+                    # write out of the service lock.  Stored before the
+                    # in-flight slot is released, so a concurrent submit of
+                    # this key always finds one or the other.
+                    self.store.put(result)
+                except Exception:  # noqa: BLE001 — the store is a cache, the run serves
+                    with self._lock:
+                        self._stats["store_errors"] += 1
+                with self._lock:
+                    self._inflight.pop(request.key, None)
+                    self._stats["executed_runs"] += 1
+                self._resolve(request.future, result=result)
+        except Exception as exc:  # noqa: BLE001 — e.g. MemoryError building results
+            with self._lock:
+                self._stats["errors"] += 1
+                for request in group:
+                    self._inflight.pop(request.key, None)
+            for request in group:
+                # Already-resolved futures reject the exception harmlessly.
+                self._resolve(request.future, exception=exc)
+
+    @staticmethod
+    def _resolve(
+        future: "Future[SimulationResult]",
+        result: "SimulationResult | None" = None,
+        exception: "BaseException | None" = None,
+    ) -> None:
+        """Settle a future, tolerating callers that cancelled it."""
+        try:
+            if exception is not None:
+                future.set_exception(exception)
+            else:
+                future.set_result(result)
+        except InvalidStateError:
+            pass

@@ -1,0 +1,215 @@
+"""Content-addressed result store for served simulations.
+
+A :class:`SimulationResult` is addressed by a key derived from the
+canonical :meth:`SimulationConfig.cache_key` serialization plus the
+solver family (and, for DL runs, the solver's weight fingerprint) — so
+two requests hit the same slot exactly when the engine would produce
+bitwise-identical output for both.
+
+The store is a two-tier cache: an in-memory LRU of result objects, plus
+an optional on-disk directory of ``<key>.npz`` archives (written
+through on every ``put``).  ``.npz`` stores raw float64 bytes, so a
+disk round trip is bitwise exact; entries evicted from memory are
+transparently re-read from disk and promoted back.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.utils.io import load_npz_dict, save_npz_dict
+
+SOLVER_FAMILIES = ("traditional", "dl")
+
+_SERIES_PREFIX = "series_"
+
+
+def result_key(
+    config: SimulationConfig,
+    solver: str = "traditional",
+    solver_fingerprint: "str | None" = None,
+) -> str:
+    """Content address of a run: solver family + canonical config hash.
+
+    For ``solver="dl"`` the solver's :meth:`DLFieldSolver.fingerprint`
+    must be supplied — the predicted fields depend on the weights, so
+    the model identity is part of the address.
+    """
+    if solver not in SOLVER_FAMILIES:
+        raise ValueError(f"unknown solver family {solver!r}; expected one of {SOLVER_FAMILIES}")
+    digest = config.cache_key()
+    if solver == "dl":
+        if not solver_fingerprint:
+            raise ValueError("DL result keys need the solver fingerprint")
+        digest = hashlib.sha256(f"{digest}:{solver_fingerprint}".encode("utf-8")).hexdigest()
+    return f"{solver}-{digest}"
+
+
+@dataclass
+class SimulationResult:
+    """One served run: per-step scalar series plus the final field.
+
+    ``series`` holds the :class:`~repro.pic.diagnostics.History` layout
+    (``time``, ``kinetic``, ``potential``, ``total``, ``momentum``,
+    ``mode1``; each ``(n_steps + 1,)``), bitwise identical to running
+    the config alone.  ``efield`` is the final ``(n_cells,)`` field.
+
+    The arrays are frozen (numpy ``writeable=False``): cache hits and
+    in-flight dedup hand every requester the *same* result object, so
+    an in-place edit by one caller would silently corrupt what the
+    store serves to everyone else.  Work on a ``.copy()`` instead.
+    """
+
+    key: str
+    config: SimulationConfig
+    solver: str
+    series: dict[str, np.ndarray]
+    efield: np.ndarray
+    from_cache: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        for values in self.series.values():
+            values.setflags(write=False)
+        self.efield.setflags(write=False)
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.series["time"]) - 1
+
+    def energy_variation(self) -> float:
+        """Max relative deviation of total energy from its initial value.
+
+        Same definition as :meth:`History.energy_variation`, computed
+        from the served series.
+        """
+        total = np.asarray(self.series["total"])
+        if total.size == 0:
+            raise ValueError("result series is empty")
+        return float(np.max(np.abs(total - total[0])) / abs(total[0]))
+
+
+class ResultStore:
+    """In-memory LRU of :class:`SimulationResult` + optional disk tier.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of results held in memory; the least recently
+        used entry is evicted first (it stays on disk if ``directory``
+        is set).  ``0`` disables the memory tier.
+    directory:
+        Optional directory of ``<key>.npz`` archives.  Written through
+        on every :meth:`put`; read (and promoted to memory) on a
+        memory miss.
+
+    Thread-safe: an internal lock guards only the LRU bookkeeping, so
+    the (potentially multi-ms) compressed disk reads and writes never
+    block concurrent lookups.  Disk writes go through a temp file +
+    atomic rename, so a reader in another process can never observe a
+    half-written archive.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        directory: "str | os.PathLike[str] | None" = None,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self.capacity = capacity
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._memory: "OrderedDict[str, SimulationResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return self.directory is not None and self._disk_path(key).exists()
+
+    def _disk_path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.npz"
+
+    def get(self, key: str) -> "SimulationResult | None":
+        """Look up a result; memory first, then disk (with promotion)."""
+        with self._lock:
+            result = self._memory.get(key)
+            if result is not None:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                return result
+        if self.directory is not None:
+            path = self._disk_path(key)
+            if path.exists():
+                result = self._load(key, path)  # I/O outside the lock
+                self._remember(key, result)
+                with self._lock:
+                    self.disk_hits += 1
+                return result
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def put(self, result: SimulationResult) -> None:
+        """Insert a result under its key (write-through to disk)."""
+        self._remember(result.key, result)
+        if self.directory is not None:
+            self._dump(result)  # I/O outside the lock
+
+    def _remember(self, key: str, result: SimulationResult) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._memory[key] = result
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.capacity:
+                self._memory.popitem(last=False)
+
+    # -- disk tier -------------------------------------------------------
+    def _dump(self, result: SimulationResult) -> None:
+        payload: dict = {
+            "config": result.config.to_dict(),
+            "solver": result.solver,
+            "efield": np.asarray(result.efield),
+        }
+        for name, values in result.series.items():
+            payload[_SERIES_PREFIX + name] = np.asarray(values)
+        path = self._disk_path(result.key)
+        # The temp name must keep the .npz suffix (numpy appends one
+        # otherwise) for the atomic rename to find the file it wrote.
+        tmp = path.with_name(f".tmp-{os.getpid()}-{path.name}")
+        save_npz_dict(tmp, payload)
+        os.replace(tmp, path)
+
+    @staticmethod
+    def _load(key: str, path: Path) -> SimulationResult:
+        payload = load_npz_dict(path)
+        series = {
+            name[len(_SERIES_PREFIX):]: values
+            for name, values in payload.items()
+            if name.startswith(_SERIES_PREFIX)
+        }
+        return SimulationResult(
+            key=key,
+            config=SimulationConfig.from_dict(payload["config"]),
+            solver=payload["solver"],
+            series=series,
+            efield=payload["efield"],
+            from_cache=True,
+        )

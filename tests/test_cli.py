@@ -119,6 +119,119 @@ class TestSweepCommand:
         assert "incompatible" in capsys.readouterr().err
 
 
+class TestScenariosCommand:
+    def test_lists_every_registered_scenario(self, capsys):
+        from repro.pic.scenarios import available_scenarios
+
+        code = main(["scenarios"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in available_scenarios():
+            assert name in out
+        assert "counter-streaming" in out  # the one-line docs ride along
+
+
+class TestServeCommand:
+    REQUEST = ('{"scenario": "%s", "n_cells": 16, "particles_per_cell": 10, '
+               '"n_steps": 3, "vth": 0.01, "seed": %d, "id": "%s"}')
+
+    def _write_requests(self, tmp_path, specs):
+        path = tmp_path / "requests.jsonl"
+        lines = ["# test requests"]
+        lines += [self.REQUEST % (scenario, seed, rid) for scenario, seed, rid in specs]
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_serves_requests_and_writes_store_and_manifest(self, capsys, tmp_path):
+        path = self._write_requests(tmp_path, [
+            ("two_stream", 0, "a"),
+            ("cold_beam", 1, "b"),
+            ("two_stream", 0, "a-dup"),  # identical physics to "a"
+        ])
+        store = tmp_path / "store"
+        manifest_path = tmp_path / "manifest.json"
+        code = main([
+            "serve", "--requests", str(path), "--store", str(store),
+            "--manifest", str(manifest_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 3 requests" in out
+        manifest = json.loads(manifest_path.read_text())
+        entries = {e["id"]: e for e in manifest["requests"]}
+        assert entries["a"]["status"] == "queued"
+        assert entries["a-dup"]["status"] in ("inflight", "cached")
+        assert entries["a-dup"]["key"] == entries["a"]["key"]
+        assert manifest["stats"]["executed_runs"] == 2
+        # results are content-addressed npz files in the store directory
+        for rid in ("a", "b"):
+            assert (store / entries[rid]["file"]).exists()
+
+    def test_second_invocation_served_from_disk_store(self, capsys, tmp_path):
+        path = self._write_requests(tmp_path, [("two_stream", 0, "a")])
+        store = tmp_path / "store"
+        assert main(["serve", "--requests", str(path), "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["serve", "--requests", str(path), "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "0 runs executed" in out
+        assert "1 store hits" in out
+
+    def test_bad_request_line_reports_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        path.write_text('{"n_cells": 16}\n{"nsteps": 3}\n')
+        code = main(["serve", "--requests", str(path)])
+        assert code == 2
+        assert "line 2" in capsys.readouterr().err
+
+    def test_unknown_scenario_reports_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        path.write_text('{"scenario": "typo_scenario", "n_steps": 1}\n')
+        code = main(["serve", "--requests", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err and "line 1" in err
+
+    def test_wrong_typed_value_reports_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        path.write_text('{"n_cells": "sixteen"}\n')
+        code = main(["serve", "--requests", str(path)])
+        assert code == 2
+        assert "line 1" in capsys.readouterr().err
+
+    def test_missing_file_reports_cleanly(self, capsys, tmp_path):
+        code = main(["serve", "--requests", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_duplicate_ids_rejected(self, capsys, tmp_path):
+        path = self._write_requests(tmp_path, [("two_stream", 0, "a"),
+                                               ("two_stream", 1, "a")])
+        code = main(["serve", "--requests", str(path)])
+        assert code == 2
+        assert "duplicate request ids" in capsys.readouterr().err
+
+    def test_dl_requests_require_model_dir(self, capsys, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        path.write_text('{"n_cells": 16, "particles_per_cell": 10, "n_steps": 1, '
+                        '"solver": "dl"}\n')
+        code = main(["serve", "--requests", str(path)])
+        assert code == 2
+        assert "--model-dir" in capsys.readouterr().err
+
+    def test_stdin_stream(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO('{"n_cells": 16, "particles_per_cell": 10, "n_steps": 2, '
+                        '"vth": 0.01}\n'),
+        )
+        code = main(["serve"])
+        assert code == 0
+        assert "served 1 requests" in capsys.readouterr().out
+
+
 class TestDatasetCommand:
     def test_fast_campaign_written(self, capsys, tmp_path):
         out = tmp_path / "data.npz"

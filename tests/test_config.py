@@ -94,6 +94,94 @@ class TestUpdates:
             SimulationConfig().v0 = 0.9  # type: ignore[misc]
 
 
+class TestExtraIdentity:
+    def test_with_updates_does_not_alias_extra(self):
+        cfg = SimulationConfig(extra={"bump_fraction": 0.1})
+        derived = cfg.with_updates(v0=0.3)
+        derived.extra["bump_fraction"] = 0.9
+        assert cfg.extra["bump_fraction"] == 0.1
+
+    def test_with_updates_deep_copies_nested_extra(self):
+        cfg = SimulationConfig(extra={"nested": {"a": 1}})
+        derived = cfg.with_updates(seed=1)
+        derived.extra["nested"]["a"] = 99
+        assert cfg.extra["nested"]["a"] == 1
+
+    def test_extra_differences_break_equality(self):
+        base = SimulationConfig(scenario="bump_on_tail")
+        bumped = base.with_updates(extra={"bump_fraction": 0.2})
+        assert base != bumped
+        assert base.cache_key() != bumped.cache_key()
+
+    def test_extra_dict_order_is_canonical(self):
+        a = SimulationConfig(extra={"a": 1, "b": 2})
+        b = SimulationConfig(extra={"b": 2, "a": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.cache_key() == b.cache_key()
+
+    def test_non_dict_extra_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(extra=[1, 2])  # type: ignore[arg-type]
+
+    def test_non_string_extra_keys_rejected(self):
+        # int 1 and str "1" would collapse to one JSON key, letting two
+        # unequal configs share a cache key — rejected up front instead.
+        with pytest.raises(ValueError, match="strings"):
+            SimulationConfig(extra={1: "a"})
+        with pytest.raises(ValueError, match="strings"):
+            SimulationConfig(extra={"nested": {2: "b"}})
+        with pytest.raises(ValueError, match="strings"):
+            SimulationConfig(extra={"seq": [{3: "c"}]})
+
+
+class TestSerialization:
+    def test_round_trip_exact(self):
+        cfg = SimulationConfig(
+            v0=0.3, vth=0.0, n_cells=32, scenario="bump_on_tail",
+            extra={"bump_fraction": 0.15, "tags": ["a", "b"]},
+        )
+        assert SimulationConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_to_dict_copies_extra(self):
+        cfg = SimulationConfig(extra={"k": 1})
+        cfg.to_dict()["extra"]["k"] = 2
+        assert cfg.extra["k"] == 1
+
+    def test_from_dict_defaults_missing_fields(self):
+        cfg = SimulationConfig.from_dict({"v0": 0.4})
+        assert cfg.v0 == 0.4
+        assert cfg.n_cells == SimulationConfig().n_cells
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="nsteps"):
+            SimulationConfig.from_dict({"nsteps": 10})
+
+    def test_from_dict_validates_values(self):
+        with pytest.raises(ValueError):
+            SimulationConfig.from_dict({"dt": -1.0})
+
+    def test_cache_key_matches_equality_for_mixed_number_types(self):
+        # Python equality collapses True == 1 == 1.0; the cache key must too,
+        # or the result store would re-execute requests the config layer
+        # considers identical.
+        a = SimulationConfig(extra={"flag": True, "x": 1.0})
+        b = SimulationConfig(extra={"flag": 1, "x": 1})
+        assert a == b
+        assert a.cache_key() == b.cache_key()
+
+    def test_cache_key_stable_and_discriminating(self):
+        cfg = SimulationConfig()
+        assert cfg.cache_key() == SimulationConfig().cache_key()
+        assert cfg.cache_key() != cfg.with_updates(seed=1).cache_key()
+        assert cfg.cache_key() != cfg.with_updates(n_steps=7).cache_key()
+
+    def test_cache_key_rejects_unserializable_extra(self):
+        cfg = SimulationConfig(extra={"obj": object()})
+        with pytest.raises(ValueError, match="JSON"):
+            cfg.cache_key()
+
+
 class TestPaperConfigs:
     def test_validation_config_fig4(self):
         cfg = paper_validation_config()
