@@ -74,10 +74,13 @@ def _add_sweep(sub: "argparse._SubParsersAction") -> None:
     p.add_argument("--seed", type=int, default=0, help="base seed (run b uses seed+b)")
     p.add_argument("--interpolation", choices=["ngp", "cic", "tsc"], default="cic")
     p.add_argument("--poisson", choices=["spectral", "fd", "direct"], default="spectral")
-    p.add_argument("--solver", choices=["traditional", "dl"], default="traditional",
-                   help="field solve: classic deposit+Poisson, or a trained neural solver")
+    p.add_argument("--solver", choices=["traditional", "dl", "vlasov"], default="traditional",
+                   help="engine family: classic deposit+Poisson PIC, a trained neural "
+                        "solver, or the noise-free semi-Lagrangian Vlasov ensemble")
     p.add_argument("--model-dir", default=None,
                    help="directory saved by DLFieldSolver.save (required with --solver dl)")
+    p.add_argument("--nv", type=int, default=None,
+                   help="Vlasov velocity-grid cells (solver=vlasov; default 128)")
     p.add_argument("--out", default=None, help="save the batched histories to this .npz")
 
 
@@ -188,8 +191,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.config import SimulationConfig
+    from repro.engines import make_engine, vlasov_grid_params
     from repro.pic.scenarios import available_scenarios
-    from repro.pic.simulation import EnsembleSimulation
     from repro.utils.io import save_npz_dict
 
     if args.runs < 1:
@@ -206,9 +209,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("error: --solver dl requires --model-dir (a DLFieldSolver.save directory)",
               file=sys.stderr)
         return 2
+    extra = {"n_v": args.nv} if args.nv is not None else {}
     base = SimulationConfig(
         n_cells=args.cells, particles_per_cell=args.ppc, n_steps=args.steps,
-        dt=args.dt, scenario=args.scenario,
+        dt=args.dt, scenario=args.scenario, solver=args.solver, extra=extra,
         interpolation=args.interpolation, poisson_solver=args.poisson,
     )
     configs = [
@@ -217,8 +221,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for vth in args.vth
         for rep in range(args.runs)
     ]
+    dl_solver = None
     if args.solver == "dl":
-        from repro.dlpic import DLEnsemble, DLFieldSolver
+        from repro.dlpic import DLFieldSolver
 
         try:
             dl_solver = DLFieldSolver.load_auto(args.model_dir)
@@ -226,17 +231,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"error: cannot load a DL solver from {args.model_dir!r}: {exc}",
                   file=sys.stderr)
             return 2
-        try:
-            sim = DLEnsemble(configs, dl_solver)
-        except ValueError as exc:
-            print(f"error: solver incompatible with the sweep configuration: {exc}",
-                  file=sys.stderr)
-            return 2
+    try:
+        sim = make_engine(configs, dl_solver=dl_solver)
+    except ValueError as exc:
+        print(f"error: solver incompatible with the sweep configuration: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.solver == "vlasov":
+        n_v, v_min, v_max = vlasov_grid_params(base)
+        size = f"{n_v}x{base.n_cells} phase-space cells in [{v_min}, {v_max}]"
     else:
-        sim = EnsembleSimulation(configs)
+        size = f"{base.n_particles} particles"
     print(f"sweeping {sim.batch} runs of scenario {args.scenario!r} "
           f"with the {args.solver} solver "
-          f"({args.steps} steps, {base.n_particles} particles each)...")
+          f"({args.steps} steps, {size} each)...")
     history = sim.run(args.steps)
     series = history.as_arrays()
     energy_var = history.energy_variation()
@@ -365,12 +373,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
-    from repro.pic.scenarios import scenario_summaries
+    from repro.pic.scenarios import available_scenarios, has_distribution, scenario_summaries
 
     summaries = scenario_summaries()
     width = max(len(name) for name in summaries)
+    particle_names = set(available_scenarios())
     for name, doc in summaries.items():
-        print(f"{name:<{width}}  {doc}")
+        # A particle factory serves the PIC families; a registered
+        # noise-free f0 counterpart serves the Vlasov family.
+        if name in particle_names and has_distribution(name):
+            families = "pic+vlasov"
+        elif name in particle_names:
+            families = "pic"
+        else:
+            families = "vlasov"
+        print(f"{name:<{width}}  [{families:<10}]  {doc}")
     return 0
 
 

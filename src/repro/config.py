@@ -124,6 +124,14 @@ class SimulationConfig:
         ``"bump_on_tail"`` or ``"random_perturbation"``.  Membership is
         validated against the registry at load time so user-registered
         scenarios round-trip through the config unhindered.
+    solver:
+        Engine family that runs this config (``repro.engines``):
+        ``"traditional"`` (the default explicit PIC cycle), ``"dl"``
+        (neural field solve) or ``"vlasov"`` (noise-free
+        semi-Lagrangian phase-space solve; reads its velocity-grid
+        knobs ``n_v``/``v_min``/``v_max`` from ``extra``).  Validated
+        against the engine registry at build time, so user-registered
+        engines round-trip through the config unhindered.
     extra:
         Free-form scenario parameters (e.g. ``bump_fraction`` for
         ``bump_on_tail``).  Must be a JSON-style dict; it participates
@@ -148,6 +156,7 @@ class SimulationConfig:
     perturbation_mode: int = 1
     seed: int = 0
     scenario: str = "two_stream"
+    solver: str = "traditional"
     # Identity (eq/hash/cache_key) is hand-rolled below so the mutable
     # extra dict can participate through its canonicalized form.
     extra: dict[str, Any] = field(default_factory=dict)
@@ -175,6 +184,8 @@ class SimulationConfig:
             raise ValueError(f"unknown loading {self.loading!r}")
         if not isinstance(self.scenario, str) or not self.scenario:
             raise ValueError(f"scenario must be a non-empty string, got {self.scenario!r}")
+        if not isinstance(self.solver, str) or not self.solver:
+            raise ValueError(f"solver must be a non-empty string, got {self.solver!r}")
         if not isinstance(self.extra, dict):
             raise ValueError(f"extra must be a dict, got {type(self.extra).__name__}")
         _check_string_keys(self.extra)

@@ -24,8 +24,9 @@ import numpy as np
 
 from repro.config import SimulationConfig
 from repro.datagen.dataset import FieldDataset
+from repro.engines.base import make_engine
 from repro.phasespace.binning import PhaseSpaceGrid, bin_phase_space, bin_phase_space_batch
-from repro.pic.simulation import EnsembleSimulation, TraditionalPIC
+from repro.pic.simulation import TraditionalPIC
 from repro.utils.rng import spawn_seeds
 
 # The serial path batches runs into ensembles of at most this many
@@ -141,13 +142,13 @@ def harvest_ensemble(
 ) -> FieldDataset:
     """Harvest training pairs from one vectorized ensemble of runs.
 
-    All ``configs`` advance together as a single batched
-    :class:`EnsembleSimulation` — one gather/push/deposit/Poisson call
-    per step for the whole batch.  The harvested pairs are identical
-    (bitwise) to running :func:`harvest_simulation` per config, and are
-    returned in the same run-major order (all pairs of run 0, then all
-    pairs of run 1, ...), so the vectorized and per-run paths are
-    interchangeable.
+    All ``configs`` advance together as a single batched traditional
+    engine from the registry (``repro.engines``) — one
+    gather/push/deposit/Poisson call per step for the whole batch.  The
+    harvested pairs are identical (bitwise) to running
+    :func:`harvest_simulation` per config, and are returned in the same
+    run-major order (all pairs of run 0, then all pairs of run 1, ...),
+    so the vectorized and per-run paths are interchangeable.
     """
     configs = list(configs)
     if not configs:
@@ -155,7 +156,7 @@ def harvest_ensemble(
     n_steps = configs[0].n_steps
     if any(cfg.n_steps != n_steps for cfg in configs):
         raise ValueError("ensemble harvest needs a uniform n_steps across configs")
-    sim = EnsembleSimulation(configs)
+    sim = make_engine([cfg.with_updates(solver="traditional") for cfg in configs])
     batch = sim.batch
     inputs: list[list[np.ndarray]] = [[] for _ in range(batch)]
     targets: list[list[np.ndarray]] = [[] for _ in range(batch)]

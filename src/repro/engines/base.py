@@ -1,0 +1,314 @@
+"""The engine registry: one abstraction over every solver family.
+
+An *engine* advances a batch of independent runs and records shared
+:class:`~repro.engines.observables.Observables`.  Three families ship
+with the repo, selected by ``SimulationConfig.solver``:
+
+``traditional``
+    The batched explicit PIC cycle
+    (:class:`~repro.pic.simulation.EnsembleSimulation`).
+``dl``
+    The DL-based PIC cycle with one network forward per ensemble step
+    (:class:`~repro.dlpic.simulation.DLEnsemble`); needs a
+    ``dl_solver``.
+``vlasov``
+    The noise-free semi-Lagrangian Vlasov-Poisson ensemble
+    (:class:`~repro.vlasov.ensemble.VlasovEnsemble`).
+
+Every consumer — the micro-batching service, the CLI, the experiment
+pipeline, the data campaigns — builds engines exclusively through
+:func:`make_engine`, so registering a new family here makes it
+servable, sweepable and harvestable everywhere at once.  Each family
+also publishes its *structural-compatibility key*: the config fields a
+batched engine requires to agree across an ensemble, used both to
+validate mixed-config batches and (plus ``n_steps``) to bucket service
+requests — see :func:`engine_group_key`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Hashable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.config import SimulationConfig
+
+if TYPE_CHECKING:
+    from repro.engines.observables import Observables
+
+# Config fields that must agree across every member of a PIC ensemble
+# (the batched kernels share one grid, one time step and one
+# charge/mass).  The DL family inherits these; the Vlasov family has
+# its own key below.
+STRUCTURAL_FIELDS = (
+    "box_length",
+    "n_cells",
+    "particles_per_cell",
+    "dt",
+    "qm",
+    "interpolation",
+    "poisson_solver",
+    "gradient",
+)
+
+# Phase-space grid knobs of the Vlasov family, read from
+# ``config.extra`` (they have no meaning for particle engines, and
+# ``extra`` already participates in equality and cache keys).
+VLASOV_DEFAULT_N_V = 128
+VLASOV_DEFAULT_V_MIN = -0.5
+VLASOV_DEFAULT_V_MAX = 0.5
+
+# Fields of the Vlasov structural key that are plain config attributes;
+# the grid knobs from ``extra`` are appended by the key function.
+VLASOV_STRUCTURAL_FIELDS = (
+    "box_length",
+    "n_cells",
+    "dt",
+    "qm",
+    "poisson_solver",
+    "gradient",
+)
+
+
+def vlasov_grid_params(config: SimulationConfig) -> "tuple[int, float, float]":
+    """``(n_v, v_min, v_max)`` of a config's Vlasov velocity grid.
+
+    Malformed ``extra`` values raise ``ValueError`` (never ``TypeError``)
+    so every entry point — request parsing, service submission, engine
+    construction — rejects them through one exception type.
+    """
+    try:
+        n_v = int(config.extra.get("n_v", VLASOV_DEFAULT_N_V))
+        v_min = float(config.extra.get("v_min", VLASOV_DEFAULT_V_MIN))
+        v_max = float(config.extra.get("v_max", VLASOV_DEFAULT_V_MAX))
+    except (TypeError, ValueError) as exc:
+        raise ValueError(
+            f"malformed Vlasov grid knobs in config.extra "
+            f"(n_v/v_min/v_max must be numeric): {exc}"
+        ) from None
+    return n_v, v_min, v_max
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """What every registered engine family provides.
+
+    ``configs`` holds one :class:`SimulationConfig` per batched member
+    (``config`` is the structural reference, ``batch`` the count);
+    ``efield`` is the current ``(batch, n_cells)`` field.  ``step``
+    advances one cycle; ``run`` advances ``n_steps`` cycles recording
+    into an :class:`Observables` (the initial state included, so a run
+    yields ``n_steps + 1`` records); ``observables`` builds this
+    engine's default recorder.
+    """
+
+    configs: "tuple[SimulationConfig, ...]"
+    config: SimulationConfig
+    batch: int
+    efield: np.ndarray
+
+    def step(self) -> None:
+        """Advance every member one cycle."""
+        ...
+
+    def run(
+        self,
+        n_steps: "int | None" = None,
+        history: "Observables | None" = None,
+        callback: "Callable | None" = None,
+    ) -> "Observables":
+        """Run ``n_steps`` cycles, recording observables each step."""
+        ...
+
+    def observables(self) -> "Observables":
+        """A fresh default observables recorder for this engine."""
+        ...
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registered engine family.
+
+    ``build`` constructs the engine from a config sequence (plus the
+    keyword context :func:`make_engine` forwards: ``dl_solver``,
+    ``rngs``); ``structural_key`` maps a config to the hashable tuple
+    every co-batched member must share; ``validate`` fails fast on a
+    config the family cannot run (called at service submit time).
+    """
+
+    name: str
+    build: "Callable[..., Engine]"
+    structural_key: "Callable[[SimulationConfig], Hashable]"
+    validate: "Callable[[SimulationConfig], None] | None" = None
+
+
+_ENGINES: "dict[str, EngineSpec]" = {}
+
+
+def register_engine(spec: EngineSpec) -> EngineSpec:
+    """Register an engine family under ``spec.name``."""
+    if spec.name in _ENGINES:
+        raise ValueError(f"engine {spec.name!r} is already registered")
+    _ENGINES[spec.name] = spec
+    return spec
+
+
+def available_engines() -> "tuple[str, ...]":
+    """Sorted names of every registered engine family."""
+    return tuple(sorted(_ENGINES))
+
+
+def get_engine_spec(name: str) -> EngineSpec:
+    """Look up a registered family; unknown names raise ``ValueError``."""
+    try:
+        return _ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown solver {name!r}; available: {', '.join(available_engines())}"
+        ) from None
+
+
+def validate_engine_config(config: SimulationConfig) -> EngineSpec:
+    """Fail fast if ``config`` cannot be served by its solver family."""
+    spec = get_engine_spec(config.solver)
+    if spec.validate is not None:
+        spec.validate(config)
+    return spec
+
+
+def structural_key(config: SimulationConfig) -> Hashable:
+    """The structural-compatibility tuple of ``config``'s engine family."""
+    return get_engine_spec(config.solver).structural_key(config)
+
+
+def engine_group_key(config: SimulationConfig) -> Hashable:
+    """Compatibility bucket of a run request (hashable tuple).
+
+    Two configs may share one engine execution exactly when their
+    group keys match: same solver family, same structural fields and
+    the same ``n_steps`` (one ``run()`` call per batch).
+    """
+    return (config.solver, structural_key(config), config.n_steps)
+
+
+def make_engine(
+    configs: "SimulationConfig | Sequence[SimulationConfig]",
+    dl_solver: "object | None" = None,
+    rngs: "Sequence[int | np.random.Generator | None] | None" = None,
+) -> Engine:
+    """Build the engine named by the configs' ``solver`` field.
+
+    ``configs`` may be a single config (a batch of one) or a sequence
+    of structurally compatible configs that advance together.  Every
+    member must name the same solver family; ``dl_solver`` backs the
+    ``dl`` family and is ignored by the others.  The returned engine's
+    row ``b`` is bitwise identical to running ``configs[b]`` alone.
+    """
+    if isinstance(configs, SimulationConfig):
+        configs = (configs,)
+    configs = tuple(configs)
+    if not configs:
+        raise ValueError("make_engine needs at least one configuration")
+    solver = configs[0].solver
+    for i, cfg in enumerate(configs[1:], 1):
+        if cfg.solver != solver:
+            raise ValueError(
+                f"engine member {i} names solver {cfg.solver!r}, member 0 names "
+                f"{solver!r}; one engine serves one family"
+            )
+    spec = get_engine_spec(solver)
+    return spec.build(configs, dl_solver=dl_solver, rngs=rngs)
+
+
+# ----------------------------------------------------------------------
+# Built-in families (engine classes import lazily: this module stays a
+# leaf so config/diagnostics shims can import it without cycles)
+
+
+def _pic_structural_key(config: SimulationConfig) -> Hashable:
+    return tuple(getattr(config, name) for name in STRUCTURAL_FIELDS)
+
+
+def _pic_validate(config: SimulationConfig) -> None:
+    from repro.pic.scenarios import get_scenario
+
+    get_scenario(config.scenario)
+
+
+def _build_traditional(
+    configs: "tuple[SimulationConfig, ...]",
+    dl_solver: "object | None" = None,
+    rngs: "Sequence[int | np.random.Generator | None] | None" = None,
+) -> Engine:
+    from repro.pic.simulation import EnsembleSimulation
+
+    return EnsembleSimulation(configs, rngs=rngs)
+
+
+def _build_dl(
+    configs: "tuple[SimulationConfig, ...]",
+    dl_solver: "object | None" = None,
+    rngs: "Sequence[int | np.random.Generator | None] | None" = None,
+) -> Engine:
+    from repro.dlpic.simulation import DLEnsemble
+
+    if dl_solver is None:
+        raise ValueError(
+            "solver='dl' needs a DLFieldSolver; pass dl_solver=... to make_engine"
+        )
+    return DLEnsemble(configs, dl_solver, rngs=rngs)
+
+
+def _vlasov_structural_key(config: SimulationConfig) -> Hashable:
+    return tuple(
+        getattr(config, name) for name in VLASOV_STRUCTURAL_FIELDS
+    ) + vlasov_grid_params(config)
+
+
+def _vlasov_validate(config: SimulationConfig) -> None:
+    from repro.pic.scenarios import get_distribution
+
+    get_distribution(config.scenario)
+    if config.vth <= 0:
+        raise ValueError(
+            f"solver='vlasov' needs vth > 0 (a cold delta beam is not representable "
+            f"on a velocity grid), got {config.vth}"
+        )
+    # Fail fast on a malformed velocity grid: the same checks the
+    # distribution loader enforces, surfaced at parse/submit time.
+    n_v, v_min, v_max = vlasov_grid_params(config)
+    if n_v < 2:
+        raise ValueError(f"velocity grid too small: n_v={n_v}")
+    if v_max <= v_min:
+        raise ValueError(f"empty velocity window [{v_min}, {v_max}]")
+
+
+def _build_vlasov(
+    configs: "tuple[SimulationConfig, ...]",
+    dl_solver: "object | None" = None,
+    rngs: "Sequence[int | np.random.Generator | None] | None" = None,
+) -> Engine:
+    from repro.vlasov.ensemble import VlasovEnsemble
+
+    return VlasovEnsemble(configs)
+
+
+register_engine(EngineSpec(
+    name="traditional",
+    build=_build_traditional,
+    structural_key=_pic_structural_key,
+    validate=_pic_validate,
+))
+register_engine(EngineSpec(
+    name="dl",
+    build=_build_dl,
+    structural_key=_pic_structural_key,
+    validate=_pic_validate,
+))
+register_engine(EngineSpec(
+    name="vlasov",
+    build=_build_vlasov,
+    structural_key=_vlasov_structural_key,
+    validate=_vlasov_validate,
+))

@@ -1,4 +1,11 @@
-"""Shared run helpers: execute a (traditional, DL) simulation pair."""
+"""Shared run helpers: execute engine runs through the registry.
+
+Every experiment run — traditional, DL or Vlasov — is built by
+:func:`repro.engines.make_engine` as a batch-of-one engine, so the
+experiment pipeline picks up new engine families for free.  Series are
+extracted in the single-run :class:`History` layout (bitwise identical
+to the pre-registry per-run simulations).
+"""
 
 from __future__ import annotations
 
@@ -7,48 +14,72 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import SimulationConfig
-from repro.dlpic.simulation import DLPIC
 from repro.dlpic.solver import DLFieldSolver
-from repro.pic.diagnostics import History
-from repro.pic.simulation import TraditionalPIC
+from repro.engines.base import Engine, make_engine
 
 
 @dataclass
 class MethodRun:
-    """Diagnostics of one finished simulation."""
+    """Diagnostics of one finished simulation.
+
+    ``final_x``/``final_v`` hold the final particle phase space of the
+    PIC families; the grid-based Vlasov family records neither (None).
+    """
 
     label: str
     config: SimulationConfig
     series: dict[str, np.ndarray]
-    final_x: np.ndarray
-    final_v: np.ndarray
+    final_x: "np.ndarray | None"
+    final_v: "np.ndarray | None"
     energy_variation: float
     momentum_drift: float
 
 
-def _execute(sim, label: str, n_steps: "int | None") -> MethodRun:
-    history: History = sim.run(n_steps)
+def _execute(
+    engine: Engine, label: str, n_steps: "int | None",
+    config: "SimulationConfig | None" = None,
+) -> MethodRun:
+    history = engine.run(n_steps)
+    particles = getattr(engine, "particles", None)
     return MethodRun(
         label=label,
-        config=sim.config,
-        series=history.as_arrays(),
-        final_x=sim.particles.x.copy(),
-        final_v=sim.v_at_integer_time.copy(),
-        energy_variation=history.energy_variation(),
-        momentum_drift=history.momentum_drift(),
+        # Report the caller's config: a (traditional, dl) pair ran the
+        # same physical configuration even though the engines were
+        # built from solver-retagged copies.
+        config=config if config is not None else engine.config,
+        series=history.member(0),
+        final_x=particles.x[0].copy() if particles is not None else None,
+        final_v=(
+            engine.v_at_integer_time[0].copy() if particles is not None else None
+        ),
+        energy_variation=float(history.energy_variation()[0]),
+        momentum_drift=float(history.momentum_drift()[0]),
     )
+
+
+def run_engine(
+    config: SimulationConfig,
+    dl_solver: "DLFieldSolver | None" = None,
+    label: "str | None" = None,
+    n_steps: "int | None" = None,
+) -> MethodRun:
+    """Run ``config`` through its registered engine family."""
+    engine = make_engine(config, dl_solver=dl_solver)
+    return _execute(engine, label if label is not None else config.solver, n_steps)
 
 
 def run_traditional(config: SimulationConfig, n_steps: "int | None" = None) -> MethodRun:
     """Run the traditional PIC method for ``config``."""
-    return _execute(TraditionalPIC(config), "Traditional PIC", n_steps)
+    engine = make_engine(config.with_updates(solver="traditional"))
+    return _execute(engine, "Traditional PIC", n_steps, config=config)
 
 
 def run_dl(
     config: SimulationConfig, solver: DLFieldSolver, n_steps: "int | None" = None
 ) -> MethodRun:
     """Run the DL-based PIC method with a trained field solver."""
-    return _execute(DLPIC(config, solver), "DL-based PIC", n_steps)
+    engine = make_engine(config.with_updates(solver="dl"), dl_solver=solver)
+    return _execute(engine, "DL-based PIC", n_steps, config=config)
 
 
 def run_pair(

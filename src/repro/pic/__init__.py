@@ -19,10 +19,15 @@ from repro.pic.diagnostics import (
     total_momentum,
 )
 from repro.pic.scenarios import (
+    available_distributions,
     available_scenarios,
+    get_distribution,
     get_scenario,
+    has_distribution,
+    load_distribution,
     load_ensemble,
     load_scenario,
+    register_distribution,
     register_scenario,
 )
 from repro.pic.simulation import EnsembleSimulation, PICSimulation, TraditionalPIC
@@ -44,10 +49,15 @@ __all__ = [
     "kinetic_energy",
     "mode_amplitude",
     "total_momentum",
+    "available_distributions",
     "available_scenarios",
+    "get_distribution",
     "get_scenario",
+    "has_distribution",
+    "load_distribution",
     "load_ensemble",
     "load_scenario",
+    "register_distribution",
     "register_scenario",
     "PICSimulation",
     "EnsembleSimulation",

@@ -1,277 +1,41 @@
-"""Conservation and spectral diagnostics for PIC runs.
+"""Conservation and spectral diagnostics for PIC runs (compat shim).
 
-The paper monitors three quantities (Figs. 4-6): the amplitude of the
-fundamental field mode ``E1`` (growth-rate validation), the total
-energy (kinetic + electrostatic) and the total momentum.
+The implementation moved to :mod:`repro.engines.observables`, the
+streaming observables pipeline shared by every engine family; this
+module keeps the historical import surface of ``repro.pic.diagnostics``
+working for one release.  The measurement functions are re-exported
+unchanged, and :class:`History` / :class:`EnsembleHistory` are now thin
+wrappers over :class:`~repro.engines.observables.Observables` with the
+exact pre-pipeline constructor, ``record`` signature, attribute access
+and ``as_arrays`` layout (bitwise-identical series).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.engines.observables import (
+    EnsembleHistory,
+    History,
+    field_energy,
+    field_energy_rows,
+    kinetic_energy,
+    kinetic_energy_rows,
+    mode_amplitude,
+    mode_amplitude_rows,
+    mode_spectrum,
+    total_momentum,
+    total_momentum_rows,
+)
 
-import numpy as np
-
-from repro import constants
-from repro.pic.grid import Grid1D
-from repro.pic.particles import ParticleSet
-
-
-def kinetic_energy(particles: ParticleSet, v: "np.ndarray | None" = None) -> float:
-    """Total kinetic energy ``sum(m v^2 / 2)``.
-
-    ``v`` overrides the stored velocities (used to evaluate energy at
-    integer time from time-centered leapfrog velocities).
-    """
-    vel = particles.v if v is None else v
-    return float(0.5 * particles.mass * np.sum(vel * vel))
-
-
-def field_energy(grid: Grid1D, e: np.ndarray, eps0: float = constants.EPSILON_0) -> float:
-    """Electrostatic field energy ``(eps0/2) * integral(E^2 dx)``."""
-    e = np.asarray(e, dtype=np.float64)
-    if e.shape != (grid.n_cells,):
-        raise ValueError(f"E has shape {e.shape}, expected ({grid.n_cells},)")
-    return float(0.5 * eps0 * np.sum(e * e) * grid.dx)
-
-
-def total_momentum(particles: ParticleSet, v: "np.ndarray | None" = None) -> float:
-    """Total mechanical momentum ``sum(m v)``."""
-    vel = particles.v if v is None else v
-    return float(particles.mass * np.sum(vel))
-
-
-def mode_amplitude(e: np.ndarray, mode: int = 1) -> float:
-    """Amplitude of Fourier mode ``mode`` of a grid field.
-
-    Normalized so a field ``A*sin(k_m x)`` returns ``A``; this is the
-    ``E1`` series plotted in the paper's Fig. 4 (bottom panel).
-    """
-    e = np.asarray(e, dtype=np.float64)
-    n = e.shape[0]
-    if not 0 <= mode <= n // 2:
-        raise ValueError(f"mode {mode} out of range for {n} cells")
-    coeff = np.fft.rfft(e)[mode]
-    if mode == 0 or (n % 2 == 0 and mode == n // 2):
-        return float(abs(coeff)) / n
-    return float(2.0 * abs(coeff) / n)
-
-
-def kinetic_energy_rows(particles: ParticleSet, v: "np.ndarray | None" = None) -> np.ndarray:
-    """Per-run kinetic energy of a (possibly batched) particle set.
-
-    Returns shape ``(batch,)``; for a 1-D set this is ``(1,)`` and the
-    single entry is bitwise equal to :func:`kinetic_energy`.
-    """
-    vel = np.atleast_2d(particles.v if v is None else v)
-    return 0.5 * particles.mass * np.sum(vel * vel, axis=-1)
-
-
-def field_energy_rows(
-    grid: Grid1D, e: np.ndarray, eps0: float = constants.EPSILON_0
-) -> np.ndarray:
-    """Per-run electrostatic energy of ``(batch, n_cells)`` fields."""
-    e = np.atleast_2d(np.asarray(e, dtype=np.float64))
-    if e.shape[-1] != grid.n_cells:
-        raise ValueError(f"E has shape {e.shape}, expected (batch, {grid.n_cells})")
-    return 0.5 * eps0 * np.sum(e * e, axis=-1) * grid.dx
-
-
-def total_momentum_rows(particles: ParticleSet, v: "np.ndarray | None" = None) -> np.ndarray:
-    """Per-run mechanical momentum, shape ``(batch,)``."""
-    vel = np.atleast_2d(particles.v if v is None else v)
-    return particles.mass * np.sum(vel, axis=-1)
-
-
-def mode_amplitude_rows(e: np.ndarray, mode: int = 1) -> np.ndarray:
-    """Per-run Fourier-mode amplitude of ``(batch, n_cells)`` fields.
-
-    Same normalization as :func:`mode_amplitude` (``A*sin(k_m x)``
-    returns ``A`` in every row).  The FFT is batched; the final
-    magnitude uses scalar ``abs`` per row because numpy's vectorized
-    complex abs may differ from the scalar one by an ulp, and the
-    ensemble engine promises bitwise-identical diagnostics.
-    """
-    e = np.atleast_2d(np.asarray(e, dtype=np.float64))
-    n = e.shape[-1]
-    if not 0 <= mode <= n // 2:
-        raise ValueError(f"mode {mode} out of range for {n} cells")
-    coeff = np.fft.rfft(e, axis=-1)[..., mode]
-    if mode == 0 or (n % 2 == 0 and mode == n // 2):
-        return np.array([float(abs(c)) / n for c in coeff])
-    return np.array([float(2.0 * abs(c) / n) for c in coeff])
-
-
-def mode_spectrum(e: np.ndarray) -> np.ndarray:
-    """Amplitudes of all resolvable modes ``0..n//2`` (same norm)."""
-    e = np.asarray(e, dtype=np.float64)
-    n = e.shape[0]
-    coeff = np.abs(np.fft.rfft(e)) / n
-    coeff[1:] *= 2.0
-    if n % 2 == 0:
-        coeff[-1] /= 2.0
-    return coeff
-
-
-@dataclass
-class History:
-    """Accumulates per-step scalar and array diagnostics of a run.
-
-    Scalars (time, energies, momentum, mode amplitude) are recorded at
-    every step; full field/density snapshots and phase-space particle
-    snapshots are optional because of their memory cost.
-    """
-
-    record_fields: bool = False
-    snapshot_every: int = 0  # 0 disables particle snapshots
-
-    time: list[float] = field(default_factory=list)
-    kinetic: list[float] = field(default_factory=list)
-    potential: list[float] = field(default_factory=list)  # field energy
-    total: list[float] = field(default_factory=list)
-    momentum: list[float] = field(default_factory=list)
-    mode1: list[float] = field(default_factory=list)
-    fields: list[np.ndarray] = field(default_factory=list)
-    snapshots: list[tuple[float, np.ndarray, np.ndarray]] = field(default_factory=list)
-
-    def record(
-        self,
-        step: int,
-        time: float,
-        grid: Grid1D,
-        particles: ParticleSet,
-        e: np.ndarray,
-        v_center: "np.ndarray | None" = None,
-    ) -> None:
-        """Append diagnostics for the state at ``time``."""
-        ke = kinetic_energy(particles, v=v_center)
-        fe = field_energy(grid, e)
-        self.time.append(time)
-        self.kinetic.append(ke)
-        self.potential.append(fe)
-        self.total.append(ke + fe)
-        self.momentum.append(total_momentum(particles, v=v_center))
-        self.mode1.append(mode_amplitude(e, mode=1))
-        if self.record_fields:
-            self.fields.append(np.array(e, copy=True))
-        if self.snapshot_every > 0 and step % self.snapshot_every == 0:
-            self.snapshots.append((time, particles.x.copy(), particles.v.copy()))
-
-    # -- array views ---------------------------------------------------
-    def as_arrays(self) -> dict[str, np.ndarray]:
-        """Return the scalar series as a dict of numpy arrays."""
-        out = {
-            "time": np.asarray(self.time),
-            "kinetic": np.asarray(self.kinetic),
-            "potential": np.asarray(self.potential),
-            "total": np.asarray(self.total),
-            "momentum": np.asarray(self.momentum),
-            "mode1": np.asarray(self.mode1),
-        }
-        if self.record_fields:
-            out["fields"] = np.asarray(self.fields)
-        return out
-
-    def energy_variation(self) -> float:
-        """Max relative deviation of total energy from its initial value.
-
-        The paper reports ~2% for both methods on the two-stream run.
-        """
-        total = np.asarray(self.total)
-        if total.size == 0:
-            raise ValueError("history is empty")
-        return float(np.max(np.abs(total - total[0])) / abs(total[0]))
-
-    def momentum_drift(self) -> float:
-        """Net momentum change over the run (signed)."""
-        mom = np.asarray(self.momentum)
-        if mom.size == 0:
-            raise ValueError("history is empty")
-        return float(mom[-1] - mom[0])
-
-    def __len__(self) -> int:
-        return len(self.time)
-
-
-@dataclass
-class EnsembleHistory:
-    """Per-step diagnostics of a batched ensemble run.
-
-    The same scalar series as :class:`History`, but each record is a
-    ``(batch,)`` vector — one entry per ensemble member, computed with
-    the batched reductions so recording costs one numpy call per series
-    regardless of the batch size.  ``as_arrays`` returns
-    ``(n_records, batch)`` arrays; ``member(b)`` extracts one run's
-    series in the :class:`History` layout.
-    """
-
-    record_fields: bool = False
-
-    time: list[float] = field(default_factory=list)
-    kinetic: list[np.ndarray] = field(default_factory=list)
-    potential: list[np.ndarray] = field(default_factory=list)  # field energy
-    total: list[np.ndarray] = field(default_factory=list)
-    momentum: list[np.ndarray] = field(default_factory=list)
-    mode1: list[np.ndarray] = field(default_factory=list)
-    fields: list[np.ndarray] = field(default_factory=list)
-
-    def record(
-        self,
-        step: int,
-        time: float,
-        grid: Grid1D,
-        particles: ParticleSet,
-        e: np.ndarray,
-        v_center: "np.ndarray | None" = None,
-    ) -> None:
-        """Append per-run diagnostics for the batched state at ``time``."""
-        ke = kinetic_energy_rows(particles, v=v_center)
-        fe = field_energy_rows(grid, e)
-        self.time.append(time)
-        self.kinetic.append(ke)
-        self.potential.append(fe)
-        self.total.append(ke + fe)
-        self.momentum.append(total_momentum_rows(particles, v=v_center))
-        self.mode1.append(mode_amplitude_rows(e, mode=1))
-        if self.record_fields:
-            self.fields.append(np.array(np.atleast_2d(e), copy=True))
-
-    def as_arrays(self) -> dict[str, np.ndarray]:
-        """Scalar series as ``(n_records, batch)`` arrays (time is 1-D)."""
-        out = {
-            "time": np.asarray(self.time),
-            "kinetic": np.asarray(self.kinetic),
-            "potential": np.asarray(self.potential),
-            "total": np.asarray(self.total),
-            "momentum": np.asarray(self.momentum),
-            "mode1": np.asarray(self.mode1),
-        }
-        if self.record_fields:
-            out["fields"] = np.asarray(self.fields)
-        return out
-
-    def member(self, b: int) -> dict[str, np.ndarray]:
-        """One ensemble member's series, keyed like ``History.as_arrays``."""
-        series = self.as_arrays()
-        out = {"time": series["time"]}
-        for key in ("kinetic", "potential", "total", "momentum", "mode1"):
-            out[key] = series[key][:, b]
-        if self.record_fields:
-            out["fields"] = series["fields"][:, b]
-        return out
-
-    def energy_variation(self) -> np.ndarray:
-        """Per-run max relative deviation of total energy, ``(batch,)``."""
-        total = np.asarray(self.total)
-        if total.size == 0:
-            raise ValueError("history is empty")
-        return np.max(np.abs(total - total[0]), axis=0) / np.abs(total[0])
-
-    def momentum_drift(self) -> np.ndarray:
-        """Per-run net momentum change over the run (signed)."""
-        mom = np.asarray(self.momentum)
-        if mom.size == 0:
-            raise ValueError("history is empty")
-        return mom[-1] - mom[0]
-
-    def __len__(self) -> int:
-        return len(self.time)
+__all__ = [
+    "History",
+    "EnsembleHistory",
+    "kinetic_energy",
+    "field_energy",
+    "total_momentum",
+    "mode_amplitude",
+    "mode_spectrum",
+    "kinetic_energy_rows",
+    "field_energy_rows",
+    "total_momentum_rows",
+    "mode_amplitude_rows",
+]

@@ -29,6 +29,7 @@ from typing import Callable, Protocol, Sequence
 import numpy as np
 
 from repro.config import SimulationConfig
+from repro.engines.base import STRUCTURAL_FIELDS
 from repro.pic.diagnostics import EnsembleHistory, History
 from repro.pic.grid import Grid1D
 from repro.pic.interpolation import charge_density, gather
@@ -37,18 +38,16 @@ from repro.pic.particles import ParticleSet
 from repro.pic.poisson import PoissonSolver
 from repro.pic.scenarios import load_ensemble
 
-# Config fields that must agree across every member of an ensemble (the
-# batched kernels share one grid, one time step and one charge/mass).
-STRUCTURAL_FIELDS = (
-    "box_length",
-    "n_cells",
-    "particles_per_cell",
-    "dt",
-    "qm",
-    "interpolation",
-    "poisson_solver",
-    "gradient",
-)
+__all__ = [
+    "STRUCTURAL_FIELDS",  # canonical home: repro.engines.base
+    "FieldSolver",
+    "LiftedFieldSolver",
+    "as_batched_solver",
+    "ChargeDepositionFieldSolver",
+    "EnsembleSimulation",
+    "PICSimulation",
+    "TraditionalPIC",
+]
 
 
 class FieldSolver(Protocol):
@@ -237,6 +236,10 @@ class EnsembleSimulation:
         """Velocities synchronized to the current integer time, ``(batch, n)``."""
         return self._v_integer
 
+    def observables(self, record_fields: bool = False) -> EnsembleHistory:
+        """A fresh default observables recorder for this engine."""
+        return EnsembleHistory(record_fields=record_fields)
+
     def step(self) -> None:
         """Advance every member one PIC cycle (gather -> push v -> push x -> field)."""
         cfg = self.config
@@ -277,7 +280,8 @@ class EnsembleSimulation:
             n = n_steps
         if n < 0:
             raise ValueError(f"n_steps must be non-negative, got {n}")
-        hist = history if history is not None else EnsembleHistory()
+        hist = history if history is not None else self.observables()
+        hist.reserve(len(hist) + n + 1)  # stream into one preallocated buffer
         hist.record(self.step_index, self.time, self.grid, self.particles, self.efield,
                     v_center=self._v_integer)
         for _ in range(n):
@@ -342,6 +346,10 @@ class PICSimulation:
         """Velocities synchronized to the current integer time."""
         return self._v_integer
 
+    def observables(self, record_fields: bool = False) -> History:
+        """A fresh default observables recorder for this single run."""
+        return History(record_fields=record_fields)
+
     def step(self) -> None:
         """Advance one PIC cycle (gather -> push v -> push x -> field)."""
         self._push_to_ensemble()
@@ -363,7 +371,8 @@ class PICSimulation:
         n = self.config.n_steps if n_steps is None else n_steps
         if n < 0:
             raise ValueError(f"n_steps must be non-negative, got {n}")
-        hist = history if history is not None else History()
+        hist = history if history is not None else self.observables()
+        hist.reserve(len(hist) + n + 1)  # stream into one preallocated buffer
         hist.record(self.step_index, self.time, self.grid, self.particles, self.efield,
                     v_center=self._v_integer)
         for _ in range(n):

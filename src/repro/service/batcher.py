@@ -1,14 +1,17 @@
 """Dynamic micro-batching of compatible simulation requests.
 
-Requests are bucketed by :func:`group_key` — the structural config
-fields the batched engines require to agree across an ensemble
-(``repro.pic.simulation.STRUCTURAL_FIELDS``) plus ``n_steps`` and the
-solver family.  Within a bucket the batcher applies the classic
+Requests are bucketed by :func:`group_key` — the engine registry's
+structural-compatibility key for the config's solver family
+(:func:`repro.engines.engine_group_key`), which folds in the structural
+config fields that family's batched engine requires to agree across an
+ensemble, plus ``n_steps`` (one ``run()`` call per group) and the
+solver family itself.  Within a bucket the batcher applies the classic
 dynamic-batching policy: a group is released as soon as it reaches
 ``max_batch_size``, or when its oldest request has waited ``max_wait``
 seconds (deadline flush), whichever comes first.  Incompatible configs
 can therefore never be co-batched: they live in different buckets by
-construction.
+construction — and every registered engine family (traditional PIC,
+DL-PIC, Vlasov) batches under the same policy.
 
 The batcher is a pure data structure driven by an explicit clock
 (every method takes ``now``), which keeps the flush policy unit-testable
@@ -24,17 +27,24 @@ from dataclasses import dataclass, field
 from typing import Hashable
 
 from repro.config import SimulationConfig
-from repro.pic.simulation import STRUCTURAL_FIELDS
+from repro.engines.base import STRUCTURAL_FIELDS, engine_group_key
 
-# Fields every member of one engine batch must share.  The structural
-# fields are the engine's hard constraint; n_steps keeps one run() call
-# per group, and the solver family picks the engine itself.
+# Kept importable for compatibility: the PIC families' structural
+# fields plus n_steps.  The authoritative grouping is per-family via
+# the engine registry (see group_key).
 GROUP_FIELDS = STRUCTURAL_FIELDS + ("n_steps",)
 
 
-def group_key(config: SimulationConfig, solver: str = "traditional") -> Hashable:
-    """Compatibility bucket of a request (hashable tuple)."""
-    return tuple(getattr(config, name) for name in GROUP_FIELDS) + (solver,)
+def group_key(config: SimulationConfig, solver: "str | None" = None) -> Hashable:
+    """Compatibility bucket of a request (hashable tuple).
+
+    ``solver`` overrides the config's own ``solver`` field (legacy
+    call sites passed it separately); the key delegates to the engine
+    registry, so user-registered families group correctly too.
+    """
+    if solver is not None and solver != config.solver:
+        config = config.with_updates(solver=solver)
+    return engine_group_key(config)
 
 
 @dataclass

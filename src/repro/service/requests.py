@@ -2,16 +2,19 @@
 
 One request per line, each a JSON object of
 :meth:`SimulationConfig.to_dict` fields (missing fields take the config
-defaults, unknown keys are rejected) plus two reserved, optional keys::
+defaults, unknown keys are rejected) plus one reserved, optional key::
 
     {"scenario": "two_stream", "v0": 0.2, "seed": 3,
-     "id": "my-run", "solver": "traditional"}
+     "id": "my-run", "solver": "vlasov"}
 
 ``id``
     Caller's name for the request (defaults to ``request-<line#>``,
     1-based); echoed in the manifest so responses can be correlated.
 ``solver``
-    Engine family: ``"traditional"`` (default) or ``"dl"``.
+    A regular config field since the engine registry unification:
+    the engine family that runs the request — ``"traditional"`` (the
+    default), ``"dl"`` or ``"vlasov"`` (whose velocity-grid knobs ride
+    in ``extra``).
 
 Blank lines and ``#`` comment lines are skipped.
 """
@@ -23,10 +26,9 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.config import SimulationConfig
-from repro.pic.scenarios import get_scenario
-from repro.service.store import SOLVER_FAMILIES
+from repro.engines.base import validate_engine_config
 
-RESERVED_KEYS = ("id", "solver")
+RESERVED_KEYS = ("id",)
 
 
 @dataclass
@@ -43,21 +45,16 @@ def parse_request(obj: dict, index: int = 0) -> ServiceRequest:
 
     ``index`` (the 1-based input line number when coming from
     :func:`read_requests`) names requests without an explicit ``id``.
-    The scenario is validated against the registry here so a typo
-    fails the parse, not the engine.
+    The scenario and solver are validated against their registries here
+    so a typo fails the parse, not the engine.
     """
     if not isinstance(obj, dict):
         raise ValueError(f"request must be a JSON object, got {type(obj).__name__}")
     payload = dict(obj)
     request_id = str(payload.pop("id", f"request-{index}"))
-    solver = str(payload.pop("solver", "traditional"))
-    if solver not in SOLVER_FAMILIES:
-        raise ValueError(
-            f"unknown solver {solver!r}; expected one of {SOLVER_FAMILIES}"
-        )
     config = SimulationConfig.from_dict(payload)
-    get_scenario(config.scenario)
-    return ServiceRequest(config=config, solver=solver, id=request_id)
+    validate_engine_config(config)  # any registry family, built-in or user
+    return ServiceRequest(config=config, solver=config.solver, id=request_id)
 
 
 def read_requests(lines: Iterable[str]) -> list[ServiceRequest]:

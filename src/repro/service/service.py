@@ -3,14 +3,17 @@
 :class:`SimulationService` turns the batched engines into a
 request/response system: callers submit :class:`SimulationConfig`-keyed
 run requests and get back futures, while a background worker coalesces
-compatible pending requests (same grid, step count, interpolation,
+compatible pending requests (same structural key, step count and
 solver family — see ``repro.service.batcher``) and executes each group
-through ONE :class:`~repro.pic.simulation.EnsembleSimulation` /
-:class:`~repro.dlpic.DLEnsemble`, so N independently arriving requests
-cost one set of vectorized steps instead of N Python loops.  Because
-every batched kernel is bitwise identical per row to its single-run
-form, each served result is bitwise identical to running that config
-alone.
+through ONE engine built by the registry
+(:func:`repro.engines.make_engine`): a traditional
+:class:`~repro.pic.simulation.EnsembleSimulation`, a
+:class:`~repro.dlpic.DLEnsemble` or a noise-free
+:class:`~repro.vlasov.ensemble.VlasovEnsemble` — so N independently
+arriving requests cost one set of vectorized steps instead of N Python
+loops.  Because every batched engine is bitwise identical per row to
+its single-run form, each served result is bitwise identical to
+running that config alone, whatever the family.
 
 Requests are deduplicated at two levels before they ever reach an
 engine:
@@ -31,7 +34,7 @@ from concurrent.futures import Future, InvalidStateError
 from typing import TYPE_CHECKING
 
 from repro.config import SimulationConfig
-from repro.pic.scenarios import get_scenario
+from repro.engines.base import make_engine, validate_engine_config
 from repro.service.batcher import MicroBatcher, PendingRequest
 from repro.service.store import ResultStore, SimulationResult, result_key
 
@@ -104,13 +107,18 @@ class SimulationService:
 
     # -- public API ------------------------------------------------------
     def submit(
-        self, config: SimulationConfig, solver: str = "traditional"
+        self, config: SimulationConfig, solver: "str | None" = None
     ) -> "Future[SimulationResult]":
-        """Request a run; the future resolves to a :class:`SimulationResult`."""
+        """Request a run; the future resolves to a :class:`SimulationResult`.
+
+        The engine family comes from ``config.solver``; the ``solver``
+        argument is a legacy override kept for callers that routed it
+        separately (the config is retagged when they disagree).
+        """
         return self.submit_with_status(config, solver)[0]
 
     def submit_with_status(
-        self, config: SimulationConfig, solver: str = "traditional"
+        self, config: SimulationConfig, solver: "str | None" = None
     ) -> "tuple[Future[SimulationResult], str]":
         """Like :meth:`submit`, also reporting how the request was met.
 
@@ -120,7 +128,10 @@ class SimulationService:
         the same future object is returned) or ``"queued"`` (filed with
         the micro-batcher).
         """
-        get_scenario(config.scenario)  # fail fast on unknown scenarios
+        if solver is not None and solver != config.solver:
+            config = config.with_updates(solver=solver)
+        solver = config.solver
+        validate_engine_config(config)  # fail fast on unservable configs
         key = self._result_key(config, solver)
         # The store is thread-safe and possibly disk-backed: consult it
         # outside the service lock so a multi-ms archive read never
@@ -140,10 +151,13 @@ class SimulationService:
                 self._stats["dedup_hits"] += 1
                 return inflight, STATUS_INFLIGHT
             future = Future()
-            self._inflight[key] = future
+            # File with the batcher before taking the in-flight slot:
+            # if grouping raises, no requester is left holding a future
+            # that nothing will ever resolve.
             self._batcher.add(
                 PendingRequest(key=key, config=config, solver=solver, future=future)
             )
+            self._inflight[key] = future
             self._wake.notify()
             return future, STATUS_QUEUED
 
@@ -218,7 +232,7 @@ class SimulationService:
                 self._execute(group)
 
     def _execute(self, group: "list[PendingRequest]") -> None:
-        """Run one compatibility group through the batched engine.
+        """Run one compatibility group through its registered engine.
 
         Never raises: engine failures travel to every requester via
         their futures, and a result-store write failure degrades to a
@@ -227,14 +241,7 @@ class SimulationService:
         """
         configs = [request.config for request in group]
         try:
-            if group[0].solver == "dl":
-                from repro.dlpic.simulation import DLEnsemble
-
-                sim = DLEnsemble(configs, self._dl_solver)
-            else:
-                from repro.pic.simulation import EnsembleSimulation
-
-                sim = EnsembleSimulation(configs)
+            sim = make_engine(configs, dl_solver=self._dl_solver)
             history = sim.run(configs[0].n_steps)
             series = history.as_arrays()
         except Exception as exc:  # noqa: BLE001 — failures travel via futures

@@ -4,7 +4,9 @@ A :class:`SimulationResult` is addressed by a key derived from the
 canonical :meth:`SimulationConfig.cache_key` serialization plus the
 solver family (and, for DL runs, the solver's weight fingerprint) — so
 two requests hit the same slot exactly when the engine would produce
-bitwise-identical output for both.
+bitwise-identical output for both.  All registered engine families
+(``traditional``, ``dl``, ``vlasov``) share the store with the same
+guarantees.
 
 The store is a two-tier cache: an in-memory LRU of result objects, plus
 an optional on-disk directory of ``<key>.npz`` archives (written
@@ -25,9 +27,12 @@ from pathlib import Path
 import numpy as np
 
 from repro.config import SimulationConfig
+from repro.engines.base import available_engines
 from repro.utils.io import load_npz_dict, save_npz_dict
 
-SOLVER_FAMILIES = ("traditional", "dl")
+# Built-in families; the authoritative list is the engine registry
+# (available_engines()), which user-registered families join.
+SOLVER_FAMILIES = ("traditional", "dl", "vlasov")
 
 _SERIES_PREFIX = "series_"
 
@@ -41,10 +46,13 @@ def result_key(
 
     For ``solver="dl"`` the solver's :meth:`DLFieldSolver.fingerprint`
     must be supplied — the predicted fields depend on the weights, so
-    the model identity is part of the address.
+    the model identity is part of the address.  Any family known to the
+    engine registry (including user-registered ones) is addressable.
     """
-    if solver not in SOLVER_FAMILIES:
-        raise ValueError(f"unknown solver family {solver!r}; expected one of {SOLVER_FAMILIES}")
+    if solver not in available_engines():
+        raise ValueError(
+            f"unknown solver family {solver!r}; expected one of {available_engines()}"
+        )
     digest = config.cache_key()
     if solver == "dl":
         if not solver_fingerprint:

@@ -9,12 +9,20 @@ training pairs compatible with the DL solver pipeline.
 """
 
 from repro.vlasov.solver import VlasovConfig, VlasovSimulation, two_stream_distribution
-from repro.vlasov.harvest import expected_counts, harvest_vlasov_dataset
+from repro.vlasov.ensemble import VlasovEnsemble, vlasov_config_from
+from repro.vlasov.harvest import (
+    expected_counts,
+    harvest_vlasov_dataset,
+    harvest_vlasov_ensemble,
+)
 
 __all__ = [
     "VlasovConfig",
     "VlasovSimulation",
+    "VlasovEnsemble",
+    "vlasov_config_from",
     "two_stream_distribution",
     "expected_counts",
     "harvest_vlasov_dataset",
+    "harvest_vlasov_ensemble",
 ]

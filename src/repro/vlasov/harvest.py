@@ -9,11 +9,16 @@ training pipeline (the paper's proposed noise-free data source).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
 import numpy as np
 
 from repro.datagen.dataset import FieldDataset
 from repro.phasespace.binning import PhaseSpaceGrid
 from repro.vlasov.solver import VlasovConfig, VlasovSimulation
+
+if TYPE_CHECKING:
+    from repro.config import SimulationConfig
 
 
 def _coarsen(f: np.ndarray, factor_v: int, factor_x: int) -> np.ndarray:
@@ -95,3 +100,70 @@ def harvest_vlasov_dataset(
     return FieldDataset(
         inputs=np.stack(inputs), targets=np.stack(targets), params=params, ps_grid=ps_grid
     )
+
+
+def harvest_vlasov_ensemble(
+    configs: "Sequence[SimulationConfig]",
+    ps_grid: PhaseSpaceGrid,
+    n_particles: int,
+    stride: int = 1,
+) -> FieldDataset:
+    """Harvest (expected-count, field) pairs from one batched Vlasov run.
+
+    All ``configs`` (``solver="vlasov"`` :class:`SimulationConfig`
+    runs, possibly of different scenarios) advance together through one
+    :class:`~repro.vlasov.ensemble.VlasovEnsemble` built by the engine
+    registry — one batched advection/Poisson pass per step for the
+    whole sweep.  Pairs are bitwise identical to harvesting each
+    member's solo run and come back in run-major order, mirroring the
+    PIC campaign's :func:`repro.datagen.campaign.harvest_ensemble`.
+    """
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+    from repro.engines.base import make_engine
+
+    configs = list(configs)
+    if not configs:
+        raise ValueError("ensemble harvest needs at least one configuration")
+    n_steps = configs[0].n_steps
+    if any(cfg.n_steps != n_steps for cfg in configs):
+        raise ValueError("ensemble harvest needs a uniform n_steps across configs")
+    sim = make_engine([cfg.with_updates(solver="vlasov") for cfg in configs])
+    vconfig = sim.vconfig
+    batch = sim.batch
+    inputs: list[list[np.ndarray]] = [[] for _ in range(batch)]
+    targets: list[list[np.ndarray]] = [[] for _ in range(batch)]
+    steps: list[int] = []
+
+    def collect() -> None:
+        for b in range(batch):
+            inputs[b].append(expected_counts(sim.f[b], vconfig, ps_grid, n_particles))
+            targets[b].append(sim.efield[b].copy())
+
+    collect()
+    steps.append(0)
+    for i in range(1, n_steps + 1):
+        sim.step()
+        if i % stride == 0:
+            collect()
+            steps.append(i)
+
+    step_col = np.asarray(steps, dtype=np.float64)
+    n_kept = step_col.size
+    parts = [
+        FieldDataset(
+            inputs=np.stack(inputs[b]),
+            targets=np.stack(targets[b]),
+            params=np.column_stack(
+                [
+                    np.full(n_kept, cfg.v0),
+                    np.full(n_kept, cfg.vth),
+                    np.full(n_kept, -1.0),  # seed sentinel: deterministic run
+                    step_col,
+                ]
+            ),
+            ps_grid=ps_grid,
+        )
+        for b, cfg in enumerate(configs)
+    ]
+    return FieldDataset.concatenate(parts)

@@ -18,12 +18,12 @@ makes it attractive as a training-data source.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro import constants
-from repro.pic.diagnostics import mode_amplitude
+from repro.engines.observables import Frame, Observables, vlasov_observables
 from repro.pic.grid import Grid1D
 from repro.pic.poisson import PoissonSolver
 
@@ -100,31 +100,66 @@ def two_stream_distribution(config: VlasovConfig) -> np.ndarray:
 
 
 def _shift_periodic_rows(f: np.ndarray, shift_cells: np.ndarray) -> np.ndarray:
-    """Shift each row ``j`` of ``f`` by ``shift_cells[j]`` (periodic, linear)."""
-    n_v, n_x = f.shape
+    """Shift each row ``j`` of ``f`` by ``shift_cells[j]`` (periodic, linear).
+
+    ``f`` is ``(n_v, n_x)`` or stacked ``(batch, n_v, n_x)``; the shift
+    (the x-advection, a function of the velocity row only) is shared by
+    every stacked member.  The interpolation weights and gather indices
+    are computed once per call and applied to the whole stack, and the
+    per-element arithmetic is identical either way — row ``b`` of a
+    batched shift is bitwise equal to shifting member ``b`` alone.
+    """
+    n_v, n_x = f.shape[-2:]
     cols = np.arange(n_x)[None, :] - shift_cells[:, None]
     base = np.floor(cols).astype(np.int64)
     w = cols - base
     rows = np.arange(n_v)[:, None]
-    return (1.0 - w) * f[rows, base % n_x] + w * f[rows, (base + 1) % n_x]
+    if f.ndim == 2:
+        return (1.0 - w) * f[rows, base % n_x] + w * f[rows, (base + 1) % n_x]
+    # Index the member axis explicitly: an all-advanced-index gather
+    # returns a fresh C-contiguous array, keeping every downstream
+    # reduction's traversal order (and hence its bits) independent of
+    # the batch size.
+    member = np.arange(f.shape[0])[:, None, None]
+    return (1.0 - w) * f[member, rows, base % n_x] + w * f[member, rows, (base + 1) % n_x]
 
 
 def _shift_clamped_columns(f: np.ndarray, shift_cells: np.ndarray) -> np.ndarray:
-    """Shift each column ``i`` by ``shift_cells[i]`` (zero inflow, linear)."""
-    n_v, n_x = f.shape
-    rows = np.arange(n_v)[:, None] - shift_cells[None, :]
+    """Shift each column ``i`` by ``shift_cells[i]`` (zero inflow, linear).
+
+    ``f`` is ``(n_v, n_x)`` with ``(n_x,)`` shifts, or stacked
+    ``(batch, n_v, n_x)`` with per-member ``(batch, n_x)`` shifts (the
+    v-advection depends on each member's own field).  Row ``b`` of a
+    batched shift is bitwise equal to the member's solo shift.
+    """
+    n_v, n_x = f.shape[-2:]
+    shift = np.asarray(shift_cells)
+    rows = np.arange(n_v)[:, None] - shift[..., None, :]
     base = np.floor(rows).astype(np.int64)
     w = rows - base
     cols = np.arange(n_x)[None, :]
     valid0 = (base >= 0) & (base < n_v)
     valid1 = (base + 1 >= 0) & (base + 1 < n_v)
-    f0 = np.where(valid0, f[np.clip(base, 0, n_v - 1), cols], 0.0)
-    f1 = np.where(valid1, f[np.clip(base + 1, 0, n_v - 1), cols], 0.0)
+    if f.ndim == 2:
+        gather0 = f[np.clip(base, 0, n_v - 1), cols]
+        gather1 = f[np.clip(base + 1, 0, n_v - 1), cols]
+    else:
+        member = np.arange(f.shape[0])[:, None, None]
+        gather0 = f[member, np.clip(base, 0, n_v - 1), cols]
+        gather1 = f[member, np.clip(base + 1, 0, n_v - 1), cols]
+    f0 = np.where(valid0, gather0, 0.0)
+    f1 = np.where(valid1, gather1, 0.0)
     return (1.0 - w) * f0 + w * f1
 
 
 class VlasovSimulation:
-    """Time integrator for the Vlasov-Poisson two-stream problem."""
+    """Time integrator for the Vlasov-Poisson two-stream problem.
+
+    Diagnostics stream through the shared
+    :class:`~repro.engines.observables.Observables` pipeline (the same
+    scalar series — and the same ``as_arrays`` contract — as every PIC
+    engine); ``history`` is that recorder and :meth:`run` returns it.
+    """
 
     def __init__(self, config: VlasovConfig, f0: "np.ndarray | None" = None) -> None:
         self.config = config
@@ -140,10 +175,13 @@ class VlasovSimulation:
         self.time = 0.0
         self.step_index = 0
         self.efield = self._solve_field()
-        self.history: dict[str, list[float]] = {
-            "time": [], "kinetic": [], "potential": [], "total": [], "momentum": [], "mode1": [],
-        }
+        self._v_centers = config.v_centers()
+        self.history = self.observables()
         self._record()
+
+    def observables(self) -> Observables:
+        """A fresh default observables recorder for this single run."""
+        return Observables(vlasov_observables(), squeeze=True)
 
     # -- field and moments ----------------------------------------------
     def density(self) -> np.ndarray:
@@ -176,14 +214,11 @@ class VlasovSimulation:
         return float(np.sum(self.f) * self.config.dx * self.config.dv)
 
     def _record(self) -> None:
-        ke = self.kinetic_energy()
-        fe = self.field_energy()
-        self.history["time"].append(self.time)
-        self.history["kinetic"].append(ke)
-        self.history["potential"].append(fe)
-        self.history["total"].append(ke + fe)
-        self.history["momentum"].append(self.momentum())
-        self.history["mode1"].append(mode_amplitude(self.efield, mode=1))
+        self.history.record_frame(Frame(
+            self.step_index, self.time, self.grid, self.efield,
+            f=self.f, v_centers=self._v_centers,
+            dx=self.config.dx, dv=self.config.dv,
+        ))
 
     # -- time stepping ----------------------------------------------------
     def step(self) -> None:
@@ -200,11 +235,17 @@ class VlasovSimulation:
         self.step_index += 1
         self._record()
 
-    def run(self, n_steps: "int | None" = None) -> dict[str, np.ndarray]:
-        """Advance ``n_steps`` and return the diagnostic series."""
+    def run(self, n_steps: "int | None" = None) -> Observables:
+        """Advance ``n_steps`` and return the accumulated observables.
+
+        The return value satisfies the shared engine contract:
+        ``as_arrays()`` (or plain ``history["mode1"]`` indexing) yields
+        the same scalar series every PIC engine records.
+        """
         n = self.config.n_steps if n_steps is None else n_steps
         if n < 0:
             raise ValueError(f"n_steps must be non-negative, got {n}")
+        self.history.reserve(len(self.history) + n)
         for _ in range(n):
             self.step()
-        return {k: np.asarray(vals) for k, vals in self.history.items()}
+        return self.history

@@ -119,6 +119,32 @@ class TestSweepCommand:
         assert "incompatible" in capsys.readouterr().err
 
 
+class TestVlasovSweep:
+    def test_vlasov_sweep_runs(self, capsys, tmp_path):
+        out = tmp_path / "vlasov-sweep.npz"
+        code = main([
+            "sweep", "--solver", "vlasov", "--cells", "32", "--nv", "48",
+            "--steps", "4", "--vth", "0.03,0.05", "--runs", "1",
+            "--out", str(out),
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "vlasov solver" in text
+        assert "phase-space cells" in text
+        assert out.exists()
+        from repro.utils.io import load_npz_dict
+
+        series = load_npz_dict(out)
+        assert series["mode1"].shape == (5, 2)
+
+    def test_vlasov_sweep_rejects_cold_beams(self, capsys):
+        code = main([
+            "sweep", "--solver", "vlasov", "--steps", "1", "--vth", "0.0",
+        ])
+        assert code == 2
+        assert "vth > 0" in capsys.readouterr().err
+
+
 class TestScenariosCommand:
     def test_lists_every_registered_scenario(self, capsys):
         from repro.pic.scenarios import available_scenarios
@@ -129,6 +155,26 @@ class TestScenariosCommand:
         for name in available_scenarios():
             assert name in out
         assert "counter-streaming" in out  # the one-line docs ride along
+
+    def test_marks_vlasov_capable_scenarios(self, capsys):
+        from repro.pic.scenarios import available_distributions
+
+        main(["scenarios"])
+        out = capsys.readouterr().out
+        assert out.count("pic+vlasov") == len(available_distributions())
+
+    def test_lists_distribution_only_scenarios(self, capsys, monkeypatch):
+        from repro.pic import scenarios
+
+        def f0(config, x, v):
+            """A distribution-only test entry."""
+
+        monkeypatch.setitem(scenarios._DISTRIBUTIONS, "f0_only_test", f0)
+        main(["scenarios"])
+        out = capsys.readouterr().out
+        assert "f0_only_test" in out
+        assert "[vlasov    ]" in out
+        assert "A distribution-only test entry." in out
 
 
 class TestServeCommand:
@@ -210,6 +256,30 @@ class TestServeCommand:
         code = main(["serve", "--requests", str(path)])
         assert code == 2
         assert "duplicate request ids" in capsys.readouterr().err
+
+    def test_vlasov_requests_served_without_model_dir(self, capsys, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        path.write_text(
+            '{"solver": "vlasov", "n_cells": 16, "n_steps": 2, "vth": 0.03, '
+            '"extra": {"n_v": 24}, "id": "v1"}\n'
+            '{"solver": "vlasov", "n_cells": 16, "n_steps": 2, "vth": 0.05, '
+            '"scenario": "landau_damping", "extra": {"n_v": 24}, "id": "v2"}\n'
+        )
+        store = tmp_path / "store"
+        manifest_path = tmp_path / "manifest.json"
+        code = main([
+            "serve", "--requests", str(path), "--store", str(store),
+            "--manifest", str(manifest_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "vlasov" in out
+        assert "1 engine batches" in out  # both coalesced into one engine
+        manifest = json.loads(manifest_path.read_text())
+        entries = {e["id"]: e for e in manifest["requests"]}
+        for rid in ("v1", "v2"):
+            assert entries[rid]["key"].startswith("vlasov-")
+            assert (store / entries[rid]["file"]).exists()
 
     def test_dl_requests_require_model_dir(self, capsys, tmp_path):
         path = tmp_path / "requests.jsonl"

@@ -346,6 +346,99 @@ class TestThreadedService:
             assert result.config.seed == i % 4
 
 
+class TestVlasovService:
+    """solver=vlasov requests batch, dedup and store like PIC requests."""
+
+    @pytest.fixture
+    def vconfig(self):
+        return SimulationConfig(
+            n_cells=16, n_steps=3, vth=0.03, v0=0.2, solver="vlasov",
+            extra={"n_v": 24},
+        )
+
+    def test_vlasov_results_match_solo_runs_bitwise(self, vconfig):
+        from repro.pic.scenarios import load_distribution
+        from repro.vlasov import VlasovSimulation, vlasov_config_from
+
+        configs = [
+            vconfig,
+            vconfig.with_updates(scenario="landau_damping", vth=0.05),
+            vconfig.with_updates(scenario="bump_on_tail", v0=0.3),
+        ]
+        with SimulationService(start=False) as service:
+            futures = [service.submit(cfg) for cfg in configs]
+            service.flush()
+            results = [f.result(timeout=0) for f in futures]
+        assert service.stats["batches"] == 1  # one engine for all three
+        for cfg, result in zip(configs, results):
+            solo = VlasovSimulation(vlasov_config_from(cfg), f0=load_distribution(cfg))
+            series = solo.run(cfg.n_steps)
+            for name in ("time", "kinetic", "potential", "total", "momentum", "mode1"):
+                np.testing.assert_array_equal(result.series[name], series[name])
+            np.testing.assert_array_equal(result.efield, solo.efield)
+
+    def test_vlasov_and_traditional_never_cobatch(self, vconfig):
+        with SimulationService(start=False) as service:
+            fut_v = service.submit(vconfig)
+            fut_t = service.submit(vconfig.with_updates(solver="traditional"))
+            service.flush()
+            assert fut_v.result(timeout=0).key != fut_t.result(timeout=0).key
+        assert service.stats["batches"] == 2
+
+    def test_vlasov_store_and_dedup_behave_like_pic(self, vconfig, tmp_path):
+        store = ResultStore(capacity=4, directory=tmp_path)
+        with SimulationService(store=store, start=False) as service:
+            first, status_first = service.submit_with_status(vconfig)
+            dup, status_dup = service.submit_with_status(vconfig)
+            assert (status_first, status_dup) == (STATUS_QUEUED, STATUS_INFLIGHT)
+            assert dup is first
+            service.flush()
+            again, status_again = service.submit_with_status(vconfig)
+            assert status_again == STATUS_CACHED
+            assert again.result(timeout=0) is first.result(timeout=0)
+        # disk round trip rehydrates the vlasov result bitwise
+        rehydrated = ResultStore(capacity=4, directory=tmp_path).get(
+            first.result(timeout=0).key
+        )
+        assert rehydrated is not None
+        assert rehydrated.config == vconfig
+        assert rehydrated.solver == "vlasov"
+        np.testing.assert_array_equal(
+            rehydrated.efield, first.result(timeout=0).efield
+        )
+
+    def test_vlasov_velocity_grids_bucket_separately(self, vconfig):
+        batcher = MicroBatcher(max_batch_size=8, max_wait=10.0)
+        other = vconfig.with_updates(extra={"n_v": 32})
+        batcher.add(_pending(vconfig, solver="vlasov"))
+        batcher.add(_pending(other, solver="vlasov"))
+        assert batcher.n_groups == 2
+
+    def test_cold_vlasov_rejected_at_submit(self, vconfig):
+        with SimulationService(start=False) as service:
+            with pytest.raises(ValueError, match="vth > 0"):
+                service.submit(vconfig.with_updates(vth=0.0))
+
+    @pytest.mark.parametrize(
+        "extra, match",
+        [
+            ({"n_v": [64]}, "numeric"),
+            ({"n_v": 1}, "too small"),
+            ({"v_min": 0.5, "v_max": -0.5}, "empty velocity window"),
+        ],
+    )
+    def test_malformed_velocity_grid_rejected_at_submit(self, vconfig, extra, match):
+        """Bad grid knobs fail fast and never leak an in-flight future."""
+        bad = vconfig.with_updates(extra=extra)
+        with SimulationService(start=False) as service:
+            with pytest.raises(ValueError, match=match):
+                service.submit(bad)
+            assert service.stats["pending"] == 0
+
+    def test_result_key_knows_vlasov_family(self, vconfig):
+        assert result_key(vconfig, "vlasov") != result_key(vconfig, "traditional")
+
+
 class TestRequestParsing:
     def test_parse_request_defaults(self):
         req = parse_request({"v0": 0.3}, index=2)
@@ -364,6 +457,16 @@ class TestRequestParsing:
     def test_unknown_solver_rejected(self):
         with pytest.raises(ValueError, match="solver"):
             parse_request({"solver": "quantum"})
+
+    def test_solver_is_a_config_field(self):
+        req = parse_request({"solver": "vlasov", "vth": 0.03, "extra": {"n_v": 32}})
+        assert req.solver == "vlasov"
+        assert req.config.solver == "vlasov"
+        assert req.config.extra == {"n_v": 32}
+
+    def test_cold_vlasov_request_fails_the_parse(self):
+        with pytest.raises(ValueError, match="vth > 0"):
+            parse_request({"solver": "vlasov", "vth": 0.0})
 
     def test_read_requests_skips_blanks_and_comments(self):
         lines = ["", "# header", '{"seed": 1}', "   ", '{"seed": 2}']

@@ -215,6 +215,42 @@ class TestHarvest:
         assert history.loss[-1] < history.loss[0]
 
 
+class TestEnsembleHarvest:
+    def test_batched_harvest_matches_solo_harvests(self):
+        """Registry-routed batched harvest == per-config solo harvests."""
+        from repro.config import SimulationConfig
+        from repro.pic.scenarios import load_distribution
+        from repro.vlasov import vlasov_config_from
+        from repro.vlasov.harvest import harvest_vlasov_ensemble
+
+        grid = PhaseSpaceGrid(n_x=32, n_v=64, box_length=VlasovConfig().box_length,
+                              v_min=-0.5, v_max=0.5)
+        configs = [
+            SimulationConfig(n_cells=32, n_steps=6, vth=0.03, v0=0.2, solver="vlasov",
+                             extra={"n_v": 64}, perturbation=1e-3),
+            SimulationConfig(n_cells=32, n_steps=6, vth=0.05, v0=0.2, solver="vlasov",
+                             extra={"n_v": 64}, scenario="landau_damping"),
+        ]
+        batched = harvest_vlasov_ensemble(configs, grid, n_particles=5000, stride=2)
+        assert len(batched) == 2 * 4  # init + steps 2, 4, 6 per run, run-major
+        offset = 0
+        for cfg in configs:
+            vcfg = vlasov_config_from(cfg)
+            sim = VlasovSimulation(vcfg, f0=load_distribution(cfg))
+            solo_inputs = [expected_counts(sim.f, vcfg, grid, 5000)]
+            solo_targets = [sim.efield.copy()]
+            for i in range(1, 7):
+                sim.step()
+                if i % 2 == 0:
+                    solo_inputs.append(expected_counts(sim.f, vcfg, grid, 5000))
+                    solo_targets.append(sim.efield.copy())
+            for k in range(4):
+                np.testing.assert_array_equal(batched.inputs[offset + k], solo_inputs[k])
+                np.testing.assert_array_equal(batched.targets[offset + k], solo_targets[k])
+            assert batched.params[offset, 2] == -1.0  # deterministic-run sentinel
+            offset += 4
+
+
 class TestLandauDamping:
     def test_langmuir_wave_landau_damping(self):
         """Beyond-paper validation: a Maxwellian plasma Landau-damps a
