@@ -164,15 +164,15 @@ class _LegacyEnsembleHistory:
     def __len__(self) -> int:
         return len(self.time)
 
-    def record(self, step, time_, grid, particles, e, v_center=None) -> None:
-        ke = kinetic_energy_rows(particles, v=v_center)
-        fe = field_energy_rows(grid, e)
-        self.time.append(time_)
+    def record_frame(self, frame) -> None:
+        ke = kinetic_energy_rows(frame.particles, v=frame.v_center)
+        fe = field_energy_rows(frame.grid, frame.efield)
+        self.time.append(frame.time)
         self.kinetic.append(ke)
         self.potential.append(fe)
         self.total.append(ke + fe)
-        self.momentum.append(total_momentum_rows(particles, v=v_center))
-        self.mode1.append(mode_amplitude_rows(e, mode=1))
+        self.momentum.append(total_momentum_rows(frame.particles, v=frame.v_center))
+        self.mode1.append(mode_amplitude_rows(frame.efield, mode=1))
 
     def as_arrays(self) -> dict:
         return {
@@ -194,10 +194,13 @@ def _run_pic_with(history_factory):
 
 
 def test_observables_pipeline_overhead(results_dir):
-    from repro.engines import EnsembleHistory
+    from repro.engines import Observables, pic_observables
+
+    def streaming_recorder():
+        return Observables(pic_observables())
 
     # The two recorders must agree exactly before we time them.
-    new_series = _run_pic_with(EnsembleHistory).as_arrays()
+    new_series = _run_pic_with(streaming_recorder).as_arrays()
     legacy_series = _run_pic_with(_LegacyEnsembleHistory).as_arrays()
     for name, values in legacy_series.items():
         np.testing.assert_array_equal(new_series[name], values)
@@ -210,7 +213,7 @@ def test_observables_pipeline_overhead(results_dir):
     times_new, times_legacy = [], []
     for _ in range(13):
         start = time.perf_counter()
-        _run_pic_with(EnsembleHistory)
+        _run_pic_with(streaming_recorder)
         t_new = time.perf_counter() - start
         start = time.perf_counter()
         _run_pic_with(_LegacyEnsembleHistory)

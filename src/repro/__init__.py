@@ -18,8 +18,12 @@ campaign), ``repro.theory`` (two-stream linear theory, growth-rate
 fitting, cold-beam ripple metrics), ``repro.parallel`` (domain
 decomposition + communication-volume model for the Sec. VII claims),
 ``repro.vlasov`` (a noise-free Vlasov-Poisson reference solver, the
-paper's future-work data source) and ``repro.experiments`` (one entry
-point per paper table/figure).
+paper's future-work data source), ``repro.experiments`` (one entry
+point per paper table/figure), ``repro.engines`` + ``repro.service``
+(the unified batched engine registry behind a micro-batching
+simulation service) and ``repro.api`` (the public v1
+``RunRequest``/``RunResult`` envelope and ``Client`` façade every
+consumer goes through).
 
 Quickstart
 ----------

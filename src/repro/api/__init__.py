@@ -1,0 +1,37 @@
+"""Public API v1 for the simulation service.
+
+Everything outside the library core talks to the engines through this
+package: build a :class:`RunRequest` (a versioned envelope around a
+:class:`~repro.config.SimulationConfig` with per-request ``observables``
+selection, ``dtype`` tier, metadata and tags), hand it to a
+:class:`Client`, and consume the :class:`RunResult` (status, timings,
+content-address key, cache-hit flag and the selected observable
+arrays).  See ``README.md`` ("Public API") for the JSONL schema and a
+quickstart.
+"""
+
+from repro.api.client import Client
+from repro.api.envelope import (
+    API_VERSION,
+    ENVELOPE_KEYS,
+    RESERVED_CONFIG_KEYS,
+    STATUS_ERROR,
+    STATUS_OK,
+    SUPPORTED_VERSIONS,
+    ApiError,
+    RunRequest,
+    RunResult,
+)
+
+__all__ = [
+    "API_VERSION",
+    "ENVELOPE_KEYS",
+    "RESERVED_CONFIG_KEYS",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "SUPPORTED_VERSIONS",
+    "ApiError",
+    "Client",
+    "RunRequest",
+    "RunResult",
+]

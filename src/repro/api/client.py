@@ -1,0 +1,194 @@
+"""The ``Client`` façade: the one way into the simulation service.
+
+A :class:`Client` accepts :class:`~repro.api.envelope.RunRequest`
+objects (or bare :class:`~repro.config.SimulationConfig`, wrapped with
+envelope defaults), routes them through a
+:class:`~repro.service.service.SimulationService` and returns
+:class:`~repro.api.envelope.RunResult` futures — status, timings,
+store key, cache-hit flag and the selected observable arrays.
+
+The client is transport-shaped: today the only transport is the
+in-process service (owned by the client, or shared by passing
+``service=``), but every consumer speaks ``submit()`` / ``run()`` /
+``map()``, so a remote transport can slot in behind the same façade
+without touching call sites.
+
+Two execution modes:
+
+* ``background=True`` (default) — the service runs its worker thread;
+  futures resolve as micro-batches flush.
+* ``background=False`` — fully synchronous: submissions queue until
+  :meth:`flush` (which ``run()``/``map()`` call for you), then execute
+  on the calling thread.  Deterministic and thread-free; the mode the
+  experiment pipeline and the data campaigns use.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.api.envelope import RunRequest, RunResult, now
+from repro.config import SimulationConfig
+
+if TYPE_CHECKING:
+    from repro.dlpic.solver import DLFieldSolver
+    from repro.service.store import ResultStore, SimulationResult
+
+
+class Client:
+    """Submit v1 run requests, get v1 result futures.
+
+    Parameters
+    ----------
+    service:
+        An existing :class:`SimulationService` to speak to.  By default
+        the client constructs (and owns, and closes) its own.
+    max_batch_size, max_wait, store, dl_solver:
+        Forwarded to the owned service (ignored when ``service=`` is
+        passed).
+    background:
+        Service execution mode — see the module docstring.
+    raise_on_error:
+        With ``True`` (default) :meth:`run` and :meth:`map` raise
+        :class:`~repro.api.envelope.ApiError` on failed requests; with
+        ``False`` they return error-status results instead.  Futures
+        from :meth:`submit` always resolve to a :class:`RunResult`
+        (never raise) so one bad request cannot break a gather.
+    """
+
+    def __init__(
+        self,
+        service: "object | None" = None,
+        *,
+        max_batch_size: int = 16,
+        max_wait: float = 0.02,
+        store: "ResultStore | None" = None,
+        dl_solver: "DLFieldSolver | None" = None,
+        background: bool = True,
+        raise_on_error: bool = True,
+    ) -> None:
+        from repro.service.service import SimulationService
+
+        if service is None:
+            service = SimulationService(
+                max_batch_size=max_batch_size,
+                max_wait=max_wait,
+                store=store,
+                dl_solver=dl_solver,
+                start=background,
+            )
+            self._owns_service = True
+        else:
+            self._owns_service = False
+        self.service = service
+        self.raise_on_error = raise_on_error
+        self._auto_id = 0
+
+    # -- request intake ---------------------------------------------------
+    def _as_request(self, request: "RunRequest | SimulationConfig") -> RunRequest:
+        if isinstance(request, SimulationConfig):
+            self._auto_id += 1
+            request = RunRequest(config=request, id=f"run-{self._auto_id}")
+        if not isinstance(request, RunRequest):
+            raise TypeError(
+                f"submit() takes a RunRequest or SimulationConfig, "
+                f"got {type(request).__name__}"
+            )
+        if not request.id:
+            self._auto_id += 1
+            request = request.with_updates(id=f"run-{self._auto_id}")
+        return request
+
+    # -- the API ----------------------------------------------------------
+    def submit(
+        self, request: "RunRequest | SimulationConfig"
+    ) -> "Future[RunResult]":
+        """File one request; the future resolves to a :class:`RunResult`.
+
+        The returned future never raises: execution errors come back as
+        ``status="error"`` results carrying the message.
+        """
+        request = self._as_request(request)
+        submitted = now()
+        outer: "Future[RunResult]" = Future()
+        try:
+            inner, status = self.service.submit_with_status(
+                request.config,
+                observables=request.observables,
+                phase_space=request.phase_space,
+            )
+        except (ValueError, RuntimeError) as exc:
+            # Submit-time rejections (unservable config, closed service)
+            # ride the same error-result path as execution failures, so
+            # one bad request in a map() cannot break the gather.
+            outer.set_result(RunResult.from_error(request, exc, wall_s=now() - submitted))
+            return outer
+
+        def _convert(done: "Future[SimulationResult]") -> None:
+            wall = now() - submitted
+            try:
+                served = done.result()
+            except BaseException as exc:  # noqa: BLE001 — travels in the result
+                outer.set_result(RunResult.from_error(request, exc, status, wall))
+            else:
+                outer.set_result(
+                    RunResult.from_service(request, served, status, wall)
+                )
+
+        inner.add_done_callback(_convert)
+        return outer
+
+    def run(self, request: "RunRequest | SimulationConfig") -> RunResult:
+        """Submit one request and wait for its result."""
+        future = self.submit(request)
+        self._drain()
+        result = future.result()
+        if self.raise_on_error:
+            result.raise_for_status()
+        return result
+
+    def map(
+        self, requests: "Iterable[RunRequest | SimulationConfig]"
+    ) -> "list[RunResult]":
+        """Submit many requests, wait for all, preserve order."""
+        futures = [self.submit(request) for request in requests]
+        self._drain()
+        results = [future.result() for future in futures]
+        if self.raise_on_error:
+            for result in results:
+                result.raise_for_status()
+        return results
+
+    def submit_many(
+        self, requests: "Sequence[RunRequest | SimulationConfig]"
+    ) -> "list[Future[RunResult]]":
+        """File many requests without waiting (order preserved)."""
+        return [self.submit(request) for request in requests]
+
+    def flush(self) -> None:
+        """Execute everything pending now, on the calling thread."""
+        self.service.flush()
+
+    @property
+    def stats(self) -> "dict[str, int]":
+        """The underlying service's counters snapshot."""
+        return self.service.stats
+
+    # -- lifecycle --------------------------------------------------------
+    def _drain(self) -> None:
+        # A synchronous (thread-free) service only executes on flush;
+        # a background service resolves futures on its own.
+        if getattr(self.service, "_thread", None) is None:
+            self.service.flush()
+
+    def close(self) -> None:
+        """Close the owned service (a shared one is left running)."""
+        if self._owns_service:
+            self.service.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -74,9 +74,14 @@ def _add_sweep(sub: "argparse._SubParsersAction") -> None:
     p.add_argument("--seed", type=int, default=0, help="base seed (run b uses seed+b)")
     p.add_argument("--interpolation", choices=["ngp", "cic", "tsc"], default="cic")
     p.add_argument("--poisson", choices=["spectral", "fd", "direct"], default="spectral")
-    p.add_argument("--solver", choices=["traditional", "dl", "vlasov"], default="traditional",
+    p.add_argument("--solver", choices=["traditional", "dl", "vlasov", "energy"],
+                   default="traditional",
                    help="engine family: classic deposit+Poisson PIC, a trained neural "
-                        "solver, or the noise-free semi-Lagrangian Vlasov ensemble")
+                        "solver, the noise-free semi-Lagrangian Vlasov ensemble, or "
+                        "the energy-conserving implicit-midpoint PIC")
+    p.add_argument("--dtype", choices=["float64", "float32"], default="float64",
+                   help="numerical tier: float64 (bitwise-reproducible, default) or "
+                        "float32 (faster; parity-band accuracy, traditional only)")
     p.add_argument("--model-dir", default=None,
                    help="directory saved by DLFieldSolver.save (required with --solver dl)")
     p.add_argument("--nv", type=int, default=None,
@@ -89,10 +94,12 @@ def _add_serve(sub: "argparse._SubParsersAction") -> None:
         "serve",
         help="drain a JSONL request stream through the micro-batching simulation service",
         description=(
-            "Read one JSON request per line (SimulationConfig fields plus optional "
-            "'id' and 'solver' keys), coalesce compatible requests into batched "
-            "ensemble executions, dedup repeats against the content-addressed "
-            "result store, and write per-request results + a manifest."
+            "Read one API v1 request envelope per line ({'api_version': 'v1', "
+            "'id': ..., 'config': {...}, 'observables': [...], 'dtype': ...}; "
+            "legacy bare-config lines still parse with a deprecation warning), "
+            "coalesce compatible requests into batched ensemble executions, dedup "
+            "repeats against the content-addressed result store, and write "
+            "per-request results + a manifest."
         ),
     )
     p.add_argument("--requests", default="-",
@@ -160,8 +167,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.api import Client, RunRequest
     from repro.config import SimulationConfig
-    from repro.pic import TraditionalPIC
     from repro.theory import fit_growth_rate, growth_rate_cold
     from repro.utils.io import save_npz_dict
 
@@ -170,28 +177,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         dt=args.dt, v0=args.v0, vth=args.vth, seed=args.seed,
         interpolation=args.interpolation, poisson_solver=args.poisson,
     )
-    sim = TraditionalPIC(config)
-    history = sim.run()
-    series = history.as_arrays()
+    with Client(background=False) as client:
+        result = client.run(RunRequest(config=config, id="simulate"))
+    series = result.series
     gamma_theory = growth_rate_cold(2 * np.pi / config.box_length, config.v0)
     print(f"ran {args.steps} steps: E1 {series['mode1'][0]:.2e} -> "
           f"max {series['mode1'].max():.2e}")
-    print(f"energy variation {history.energy_variation():.2%}, "
-          f"momentum drift {history.momentum_drift():+.2e}")
+    print(f"energy variation {result.energy_variation():.2%}, "
+          f"momentum drift {result.momentum_drift():+.2e}")
     if gamma_theory > 0:
         fit = fit_growth_rate(series["time"], series["mode1"])
         print(f"growth rate: measured {fit.gamma:.4f} vs theory {gamma_theory:.4f}")
     else:
         print("configuration is linearly stable (k1*v0 >= 1)")
     if args.out:
-        save_npz_dict(args.out, dict(series))
+        save_npz_dict(args.out, {k: np.asarray(v) for k, v in series.items()})
         print(f"history saved to {args.out}")
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.api import ApiError, Client, RunRequest
     from repro.config import SimulationConfig
-    from repro.engines import make_engine, vlasov_grid_params
+    from repro.engines import vlasov_grid_params
     from repro.pic.scenarios import available_scenarios
     from repro.utils.io import save_npz_dict
 
@@ -210,17 +218,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     extra = {"n_v": args.nv} if args.nv is not None else {}
-    base = SimulationConfig(
-        n_cells=args.cells, particles_per_cell=args.ppc, n_steps=args.steps,
-        dt=args.dt, scenario=args.scenario, solver=args.solver, extra=extra,
-        interpolation=args.interpolation, poisson_solver=args.poisson,
-    )
-    configs = [
-        base.with_updates(v0=v0, vth=vth, seed=args.seed + rep)
-        for v0 in args.v0
-        for vth in args.vth
-        for rep in range(args.runs)
-    ]
+    try:
+        base = SimulationConfig(
+            n_cells=args.cells, particles_per_cell=args.ppc, n_steps=args.steps,
+            dt=args.dt, scenario=args.scenario, solver=args.solver, extra=extra,
+            interpolation=args.interpolation, poisson_solver=args.poisson,
+            dtype=args.dtype,
+        )
+        requests = [
+            RunRequest(
+                config=base.with_updates(v0=v0, vth=vth, seed=args.seed + rep),
+                id=f"sweep-{i}",
+            )
+            for i, (v0, vth, rep) in enumerate(
+                (v0, vth, rep)
+                for v0 in args.v0
+                for vth in args.vth
+                for rep in range(args.runs)
+            )
+        ]
+    except ValueError as exc:
+        print(f"error: solver incompatible with the sweep configuration: {exc}",
+              file=sys.stderr)
+        return 2
     dl_solver = None
     if args.solver == "dl":
         from repro.dlpic import DLFieldSolver
@@ -231,32 +251,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"error: cannot load a DL solver from {args.model_dir!r}: {exc}",
                   file=sys.stderr)
             return 2
-    try:
-        sim = make_engine(configs, dl_solver=dl_solver)
-    except ValueError as exc:
-        print(f"error: solver incompatible with the sweep configuration: {exc}",
-              file=sys.stderr)
-        return 2
     if args.solver == "vlasov":
         n_v, v_min, v_max = vlasov_grid_params(base)
         size = f"{n_v}x{base.n_cells} phase-space cells in [{v_min}, {v_max}]"
     else:
         size = f"{base.n_particles} particles"
-    print(f"sweeping {sim.batch} runs of scenario {args.scenario!r} "
-          f"with the {args.solver} solver "
-          f"({args.steps} steps, {size} each)...")
-    history = sim.run(args.steps)
-    series = history.as_arrays()
-    energy_var = history.energy_variation()
+    print(f"sweeping {len(requests)} runs of scenario {args.scenario!r} "
+          f"with the {args.solver} solver ({args.dtype} tier, "
+          f"{args.steps} steps, {size} each)...")
+    try:
+        with Client(background=False, max_batch_size=len(requests),
+                    dl_solver=dl_solver) as client:
+            results = client.map(requests)
+    except (ApiError, ValueError) as exc:
+        print(f"error: solver incompatible with the sweep configuration: {exc}",
+              file=sys.stderr)
+        return 2
     print(f"{'v0':>7} {'vth':>7} {'seed':>6} {'max E1':>10} {'dE/E':>8}")
-    for b, cfg in enumerate(sim.configs):
+    for request, result in zip(requests, results):
+        cfg = request.config
         print(f"{cfg.v0:>7.3f} {cfg.vth:>7.3f} {cfg.seed:>6d} "
-              f"{series['mode1'][:, b].max():>10.2e} {energy_var[b]:>8.2%}")
+              f"{np.asarray(result.series['mode1']).max():>10.2e} "
+              f"{result.energy_variation():>8.2%}")
     if args.out:
-        payload = dict(series)
-        payload["v0"] = np.array([cfg.v0 for cfg in sim.configs])
-        payload["vth"] = np.array([cfg.vth for cfg in sim.configs])
-        payload["seed"] = np.array([float(cfg.seed) for cfg in sim.configs])
+        payload: dict = {"time": np.asarray(results[0].series["time"])}
+        for name in results[0].series:
+            if name != "time":
+                payload[name] = np.stack(
+                    [np.asarray(r.series[name]) for r in results], axis=1
+                )
+        payload["v0"] = np.array([r.config.v0 for r in requests])
+        payload["vth"] = np.array([r.config.vth for r in requests])
+        payload["seed"] = np.array([float(r.config.seed) for r in requests])
         save_npz_dict(args.out, payload)
         print(f"histories saved to {args.out}")
     return 0
@@ -266,7 +292,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import os.path
     import time
 
-    from repro.service import ResultStore, SimulationService, read_requests
+    from repro.api import Client
+    from repro.service import ResultStore, read_requests
 
     if args.requests == "-":
         lines = sys.stdin.read().splitlines()
@@ -304,55 +331,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 2
     store = ResultStore(capacity=args.capacity, directory=args.store)
     start = time.perf_counter()
-    with SimulationService(
+    with Client(
         max_batch_size=args.max_batch, max_wait=args.max_wait,
-        store=store, dl_solver=dl_solver,
-    ) as service:
+        store=store, dl_solver=dl_solver, raise_on_error=False,
+    ) as client:
         try:
-            submitted = [
-                (req, *service.submit_with_status(req.config, req.solver))
-                for req in requests
-            ]
+            results = client.map(requests)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        entries = []
-        n_failed = 0
-        print(f"{'id':>16} {'scenario':>20} {'solver':>12} {'status':>9} "
-              f"{'max E1':>10} {'dE/E':>8}")
-        for req, future, status in submitted:
-            entry = {
-                "id": req.id,
-                "solver": req.solver,
-                "scenario": req.config.scenario,
-                "n_steps": req.config.n_steps,
-                "status": status,
-            }
-            try:
-                result = future.result()
-            except Exception as exc:  # noqa: BLE001 — report per request
-                n_failed += 1
-                entry["error"] = str(exc)
-                print(f"{req.id:>16} {req.config.scenario:>20} {req.solver:>12} "
-                      f"{'ERROR':>9}  {exc}")
-            else:
-                entry["key"] = result.key
-                # Record the archive only if the write-through actually
-                # landed (a full disk degrades the store to a cache
-                # miss, not a lying manifest).
-                if args.store and os.path.exists(
-                    os.path.join(args.store, f"{result.key}.npz")
-                ):
-                    entry["file"] = f"{result.key}.npz"
-                mode1 = result.series["mode1"]
-                energy_var = result.energy_variation()
-                entry["max_mode1"] = float(mode1.max())
-                entry["energy_variation"] = energy_var
-                print(f"{req.id:>16} {req.config.scenario:>20} {req.solver:>12} "
-                      f"{status:>9} {mode1.max():>10.2e} {energy_var:>8.2%}")
-            entries.append(entry)
-        stats = service.stats
+        stats = client.stats
     elapsed = time.perf_counter() - start
+    entries = []
+    n_failed = 0
+    print(f"{'id':>16} {'scenario':>20} {'solver':>12} {'status':>9} "
+          f"{'max E1':>10} {'dE/E':>8}")
+    for req, result in zip(requests, results):
+        entry = result.to_dict(arrays=False)
+        entry["scenario"] = req.config.scenario
+        entry["n_steps"] = req.config.n_steps
+        entry.pop("config", None)  # the request stream already has it
+        if not result.ok:
+            n_failed += 1
+            print(f"{req.id:>16} {req.config.scenario:>20} {req.solver:>12} "
+                  f"{'ERROR':>9}  {result.error}")
+        else:
+            # Record the archive only if the write-through actually
+            # landed (a full disk degrades the store to a cache
+            # miss, not a lying manifest).
+            if args.store and os.path.exists(
+                os.path.join(args.store, f"{result.key}.npz")
+            ):
+                entry["file"] = f"{result.key}.npz"
+            # The summary columns exist only when the request's
+            # observables selection recorded them.
+            mode1_col = energy_col = f"{'-':>8}"
+            if "mode1" in result.series:
+                max_mode1 = float(np.asarray(result.series["mode1"]).max())
+                entry["max_mode1"] = max_mode1
+                mode1_col = f"{max_mode1:>10.2e}"
+            if "total" in result.series:
+                energy_var = result.energy_variation()
+                entry["energy_variation"] = energy_var
+                energy_col = f"{energy_var:>8.2%}"
+            print(f"{req.id:>16} {req.config.scenario:>20} {req.solver:>12} "
+                  f"{result.submit_status:>9} {mode1_col} {energy_col}")
+        entries.append(entry)
     print(f"served {len(requests)} requests in {elapsed * 1e3:.0f} ms "
           f"({len(requests) / elapsed:.1f} req/s): "
           f"{stats['batches']} engine batches, {stats['executed_runs']} runs executed, "
@@ -362,6 +386,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"to the store", file=sys.stderr)
     if args.manifest:
         manifest = {
+            "api_version": "v1",
             "requests": entries,
             "stats": {**stats, "elapsed_s": elapsed},
             "store_directory": args.store,

@@ -14,6 +14,8 @@ import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Mapping
 
+import numpy as np
+
 from repro import constants
 
 
@@ -127,11 +129,23 @@ class SimulationConfig:
     solver:
         Engine family that runs this config (``repro.engines``):
         ``"traditional"`` (the default explicit PIC cycle), ``"dl"``
-        (neural field solve) or ``"vlasov"`` (noise-free
+        (neural field solve), ``"vlasov"`` (noise-free
         semi-Lagrangian phase-space solve; reads its velocity-grid
-        knobs ``n_v``/``v_min``/``v_max`` from ``extra``).  Validated
-        against the engine registry at build time, so user-registered
-        engines round-trip through the config unhindered.
+        knobs ``n_v``/``v_min``/``v_max`` from ``extra``) or
+        ``"energy"`` (energy-conserving implicit-midpoint PIC).
+        Validated against the engine registry at build time, so
+        user-registered engines round-trip through the config
+        unhindered.
+    dtype:
+        Numerical tier of the run: ``"float64"`` (the default; every
+        engine guarantees bitwise-reproducible results) or
+        ``"float32"`` (half-cost serving for requests that opt out of
+        the bitwise guarantee; currently supported by the
+        ``traditional`` family only and regression-gated by a
+        documented parity band against float64).  The tier is a
+        *structural* field: it is part of the engine compatibility key
+        and of every cache/store key, so float32 results can never be
+        served for a float64 request or vice versa.
     extra:
         Free-form scenario parameters (e.g. ``bump_fraction`` for
         ``bump_on_tail``).  Must be a JSON-style dict; it participates
@@ -157,6 +171,7 @@ class SimulationConfig:
     seed: int = 0
     scenario: str = "two_stream"
     solver: str = "traditional"
+    dtype: str = "float64"
     # Identity (eq/hash/cache_key) is hand-rolled below so the mutable
     # extra dict can participate through its canonicalized form.
     extra: dict[str, Any] = field(default_factory=dict)
@@ -186,6 +201,10 @@ class SimulationConfig:
             raise ValueError(f"scenario must be a non-empty string, got {self.scenario!r}")
         if not isinstance(self.solver, str) or not self.solver:
             raise ValueError(f"solver must be a non-empty string, got {self.solver!r}")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"unknown dtype {self.dtype!r}; expected 'float32' or 'float64'"
+            )
         if not isinstance(self.extra, dict):
             raise ValueError(f"extra must be a dict, got {type(self.extra).__name__}")
         _check_string_keys(self.extra)
@@ -205,6 +224,11 @@ class SimulationConfig:
 
     def __hash__(self) -> int:
         return hash(self._identity())
+
+    @property
+    def np_dtype(self) -> "np.dtype":
+        """The numpy dtype of this config's numerical tier."""
+        return np.dtype(np.float32 if self.dtype == "float32" else np.float64)
 
     @property
     def n_particles(self) -> int:

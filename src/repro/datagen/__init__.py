@@ -5,6 +5,7 @@ from repro.datagen.campaign import (
     CampaignConfig,
     harvest_ensemble,
     harvest_simulation,
+    harvest_via_client,
     run_campaign,
     run_test_set_ii,
 )
@@ -15,6 +16,7 @@ __all__ = [
     "CampaignConfig",
     "harvest_ensemble",
     "harvest_simulation",
+    "harvest_via_client",
     "run_campaign",
     "run_test_set_ii",
     "fast_campaign",

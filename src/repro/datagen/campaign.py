@@ -4,21 +4,24 @@ Section IV-A1 of the paper: 20 combinations of ``(v0, vth)``, 10
 seeded "experiments" per combination (data augmentation), 200 steps
 per run, one (histogram, field) pair per step — 40,000 pairs total.
 
-The runs are embarrassingly parallel.  The serial path harvests them
-from a *vectorized ensemble* (``harvest_ensemble``): all runs of a
-chunk advance together through the batched PIC kernels instead of a
-Python loop over simulations, which amortizes the per-step interpreter
+The runs are embarrassingly parallel.  The serial path submits them as
+public-API run requests — each config becomes a
+:class:`~repro.api.RunRequest` selecting the ``training_pairs`` +
+``fields`` observables, and a synchronous :class:`~repro.api.Client`
+micro-batches compatible requests into vectorized ensembles (chunked
+by a total-particle budget), which amortizes the per-step interpreter
 and FFT overhead across the whole sweep while producing bit-for-bit
-the same dataset.  ``run_campaign`` can still fan runs out over a
-``multiprocessing`` pool (the closest stand-in for the paper's HPC
-batch generation that works on one node); both paths agree exactly.
+the same dataset as the per-run ``harvest_simulation``.
+``run_campaign`` can still fan runs out over a ``multiprocessing``
+pool (the closest stand-in for the paper's HPC batch generation that
+works on one node); both paths agree exactly.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass, field, replace
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -209,17 +212,92 @@ def _worker(args: tuple) -> FieldDataset:
     return harvest_simulation(config, ps_grid, binning, include_initial)
 
 
+def _harvest_observables(ps_grid: PhaseSpaceGrid, binning: str) -> "list[object]":
+    """The v1 observables selection producing (histogram, field) pairs."""
+    return [
+        {
+            "name": "training_pairs",
+            "n_x": ps_grid.n_x, "n_v": ps_grid.n_v,
+            "v_min": ps_grid.v_min, "v_max": ps_grid.v_max,
+            "box_length": ps_grid.box_length, "order": binning,
+        },
+        "fields",
+    ]
+
+
+def harvest_via_client(
+    configs: Sequence[SimulationConfig],
+    ps_grid: PhaseSpaceGrid,
+    binning: str = "ngp",
+    include_initial_state: bool = True,
+    max_batch_size: int = 16,
+) -> FieldDataset:
+    """Harvest training pairs through the public API.
+
+    Each config is one :class:`~repro.api.RunRequest` selecting the
+    ``training_pairs`` and ``fields`` observables; a synchronous
+    :class:`~repro.api.Client` coalesces compatible requests into
+    ensembles of up to ``max_batch_size``.  The pairs are bitwise
+    identical to :func:`harvest_simulation` per config (the batched
+    binning preserves per-row bit patterns) and returned in request
+    order, so this path, the per-run path and the pool path are all
+    interchangeable.  Results are streamed straight into the dataset —
+    the client's store is disabled (campaign outputs are huge and
+    single-use).
+    """
+    from repro.api import Client, RunRequest
+    from repro.service.store import ResultStore
+
+    configs = list(configs)
+    if not configs:
+        raise ValueError("ensemble harvest needs at least one configuration")
+    selection = _harvest_observables(ps_grid, binning)
+    requests = [
+        RunRequest(
+            config=cfg.with_updates(solver="traditional"),
+            id=f"harvest-{i}",
+            observables=selection,
+        )
+        for i, cfg in enumerate(configs)
+    ]
+    with Client(
+        background=False,
+        max_batch_size=max_batch_size,
+        store=ResultStore(capacity=0),
+    ) as client:
+        results = client.map(requests)
+
+    first = 0 if include_initial_state else 1
+    parts: "list[FieldDataset]" = []
+    for cfg, result in zip(configs, results):
+        hists = np.asarray(result.series["histograms"])[first:]
+        fields = np.asarray(result.series["fields"])[first:]
+        n_pairs = hists.shape[0]
+        params = np.column_stack(
+            [
+                np.full(n_pairs, cfg.v0),
+                np.full(n_pairs, cfg.vth),
+                np.full(n_pairs, float(cfg.seed)),
+                np.arange(first, first + n_pairs, dtype=np.float64),
+            ]
+        )
+        parts.append(
+            FieldDataset(inputs=hists, targets=fields, params=params, ps_grid=ps_grid)
+        )
+    return FieldDataset.concatenate(parts)
+
+
 def run_campaign(campaign: CampaignConfig, n_workers: int = 1) -> FieldDataset:
     """Execute the whole sweep and concatenate the harvested pairs.
 
-    The serial path (``n_workers == 1``) batches the runs into
-    vectorized ensembles (chunked by a total-particle budget) and
-    harvests them with :func:`harvest_ensemble`.  ``n_workers > 1``
-    distributes individual simulations over a process pool instead.
-    Both paths are deterministic and bitwise identical because the
-    per-run seeds are fixed by :meth:`CampaignConfig.simulation_specs`,
-    results are ordered in spec order, and the batched kernels
-    reproduce single runs exactly.
+    The serial path (``n_workers == 1``) submits every run through the
+    public API (:func:`harvest_via_client`): the client's micro-batcher
+    groups them into vectorized ensembles chunked by a total-particle
+    budget.  ``n_workers > 1`` distributes individual simulations over
+    a process pool instead.  Both paths are deterministic and bitwise
+    identical because the per-run seeds are fixed by
+    :meth:`CampaignConfig.simulation_specs`, results are ordered in
+    spec order, and the batched kernels reproduce single runs exactly.
     """
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -229,15 +307,13 @@ def run_campaign(campaign: CampaignConfig, n_workers: int = 1) -> FieldDataset:
     ]
     if n_workers == 1:
         chunk = max(1, _ENSEMBLE_PARTICLE_BUDGET // campaign.base_config.n_particles)
-        results = [
-            harvest_ensemble(
-                run_configs[i:i + chunk],
-                campaign.ps_grid,
-                campaign.binning,
-                campaign.include_initial_state,
-            )
-            for i in range(0, len(run_configs), chunk)
-        ]
+        return harvest_via_client(
+            run_configs,
+            campaign.ps_grid,
+            campaign.binning,
+            campaign.include_initial_state,
+            max_batch_size=chunk,
+        )
     else:
         jobs = [
             (cfg, campaign.ps_grid, campaign.binning, campaign.include_initial_state)
@@ -269,17 +345,15 @@ def run_test_set_ii(
             f"test-set-II parameters overlap the training sweep: v0 {overlap}, vth {overlap_vth}"
         )
     seeds = spawn_seeds(seed, len(v0_values) * len(vth_values))
-    parts: list[FieldDataset] = []
-    i = 0
-    for v0 in v0_values:
-        for vth in vth_values:
-            cfg = campaign.base_config.with_updates(v0=v0, vth=vth, seed=seeds[i])
-            parts.append(
-                harvest_simulation(cfg, campaign.ps_grid, campaign.binning,
-                                   campaign.include_initial_state)
-            )
-            i += 1
-    full = FieldDataset.concatenate(parts)
+    cfgs = [
+        campaign.base_config.with_updates(v0=v0, vth=vth, seed=seeds[i])
+        for i, (v0, vth) in enumerate(
+            (v0, vth) for v0 in v0_values for vth in vth_values
+        )
+    ]
+    full = harvest_via_client(
+        cfgs, campaign.ps_grid, campaign.binning, campaign.include_initial_state
+    )
     if n_samples >= len(full):
         return full
     order = np.random.default_rng(seed).permutation(len(full))[:n_samples]

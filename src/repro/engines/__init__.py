@@ -25,17 +25,24 @@ from repro.engines.base import (
     vlasov_grid_params,
 )
 from repro.engines.observables import (
-    EnsembleHistory,
+    DEFAULT_OBSERVABLES,
     FieldSnapshot,
     Frame,
-    History,
     ModeAmplitude,
     Observable,
+    ObservableSpec,
     Observables,
     ParticleEnergyMomentum,
     PhaseSpaceSnapshot,
+    TrainingHistograms,
     VlasovEnergyMomentum,
+    available_observables,
+    canonical_observables,
+    observables_token,
     pic_observables,
+    register_observable,
+    resolve_observables,
+    selection_to_jsonable,
     vlasov_observables,
 )
 
@@ -51,17 +58,24 @@ __all__ = [
     "structural_key",
     "validate_engine_config",
     "vlasov_grid_params",
-    "EnsembleHistory",
+    "DEFAULT_OBSERVABLES",
     "FieldSnapshot",
     "Frame",
-    "History",
     "ModeAmplitude",
     "Observable",
+    "ObservableSpec",
     "Observables",
     "ParticleEnergyMomentum",
     "PhaseSpaceSnapshot",
+    "TrainingHistograms",
     "VlasovEnergyMomentum",
+    "available_observables",
+    "canonical_observables",
+    "observables_token",
     "pic_observables",
+    "register_observable",
+    "resolve_observables",
+    "selection_to_jsonable",
     "vlasov_observables",
     "VlasovEnsemble",
 ]

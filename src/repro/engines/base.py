@@ -14,6 +14,9 @@ with the repo, selected by ``SimulationConfig.solver``:
 ``vlasov``
     The noise-free semi-Lagrangian Vlasov-Poisson ensemble
     (:class:`~repro.vlasov.ensemble.VlasovEnsemble`).
+``energy``
+    The energy-conserving implicit-midpoint PIC
+    (:class:`~repro.pic.energy_conserving.EnergyConservingEnsemble`).
 
 Every consumer — the micro-batching service, the CLI, the experiment
 pipeline, the data campaigns — builds engines exclusively through
@@ -50,6 +53,7 @@ STRUCTURAL_FIELDS = (
     "interpolation",
     "poisson_solver",
     "gradient",
+    "dtype",
 )
 
 # Phase-space grid knobs of the Vlasov family, read from
@@ -68,6 +72,7 @@ VLASOV_STRUCTURAL_FIELDS = (
     "qm",
     "poisson_solver",
     "gradient",
+    "dtype",
 )
 
 
@@ -135,12 +140,17 @@ class EngineSpec:
     ``rngs``); ``structural_key`` maps a config to the hashable tuple
     every co-batched member must share; ``validate`` fails fast on a
     config the family cannot run (called at service submit time).
+    ``kind`` names the family's state representation — ``"pic"``
+    (particle frames) or ``"vlasov"`` (phase-space density frames) —
+    and picks the right measurement for kind-dependent observables
+    (see :func:`repro.engines.observables.resolve_observables`).
     """
 
     name: str
     build: "Callable[..., Engine]"
     structural_key: "Callable[[SimulationConfig], Hashable]"
     validate: "Callable[[SimulationConfig], None] | None" = None
+    kind: str = "pic"
 
 
 _ENGINES: "dict[str, EngineSpec]" = {}
@@ -230,6 +240,16 @@ def _pic_structural_key(config: SimulationConfig) -> Hashable:
     return tuple(getattr(config, name) for name in STRUCTURAL_FIELDS)
 
 
+def _require_float64(config: SimulationConfig) -> None:
+    """Families without a float32 path reject the tier at submit time."""
+    if config.dtype != "float64":
+        raise ValueError(
+            f"solver={config.solver!r} supports only dtype='float64' "
+            f"(the float32 tier currently covers the 'traditional' family), "
+            f"got dtype={config.dtype!r}"
+        )
+
+
 def _pic_validate(config: SimulationConfig) -> None:
     from repro.pic.scenarios import get_scenario
 
@@ -246,6 +266,11 @@ def _build_traditional(
     return EnsembleSimulation(configs, rngs=rngs)
 
 
+def _dl_validate(config: SimulationConfig) -> None:
+    _require_float64(config)
+    _pic_validate(config)
+
+
 def _build_dl(
     configs: "tuple[SimulationConfig, ...]",
     dl_solver: "object | None" = None,
@@ -260,6 +285,21 @@ def _build_dl(
     return DLEnsemble(configs, dl_solver, rngs=rngs)
 
 
+def _energy_validate(config: SimulationConfig) -> None:
+    _require_float64(config)
+    _pic_validate(config)
+
+
+def _build_energy(
+    configs: "tuple[SimulationConfig, ...]",
+    dl_solver: "object | None" = None,
+    rngs: "Sequence[int | np.random.Generator | None] | None" = None,
+) -> Engine:
+    from repro.pic.energy_conserving import EnergyConservingEnsemble
+
+    return EnergyConservingEnsemble(configs, rngs=rngs)
+
+
 def _vlasov_structural_key(config: SimulationConfig) -> Hashable:
     return tuple(
         getattr(config, name) for name in VLASOV_STRUCTURAL_FIELDS
@@ -269,6 +309,7 @@ def _vlasov_structural_key(config: SimulationConfig) -> Hashable:
 def _vlasov_validate(config: SimulationConfig) -> None:
     from repro.pic.scenarios import get_distribution
 
+    _require_float64(config)
     get_distribution(config.scenario)
     if config.vth <= 0:
         raise ValueError(
@@ -304,11 +345,18 @@ register_engine(EngineSpec(
     name="dl",
     build=_build_dl,
     structural_key=_pic_structural_key,
-    validate=_pic_validate,
+    validate=_dl_validate,
 ))
 register_engine(EngineSpec(
     name="vlasov",
     build=_build_vlasov,
     structural_key=_vlasov_structural_key,
     validate=_vlasov_validate,
+    kind="vlasov",
+))
+register_engine(EngineSpec(
+    name="energy",
+    build=_build_energy,
+    structural_key=_pic_structural_key,
+    validate=_energy_validate,
 ))

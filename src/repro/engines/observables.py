@@ -14,22 +14,28 @@ replaces all three with one pipeline:
   call :meth:`Observables.reserve` with ``n_steps + 1`` before a run,
   so the steady-state cost per record is pure numpy writes — no Python
   list appends, no reallocation);
-* the classic :class:`History` / :class:`EnsembleHistory` recorders are
-  kept as thin wrappers over :class:`Observables` (same constructor,
-  ``record`` signature, attribute access and ``as_arrays`` layout), so
-  existing users of ``repro.pic.diagnostics`` keep working for one
-  release while new code talks to the pipeline directly.
+* the *observable registry* at the bottom exposes pluggable, named
+  measurements (``"energies"``, ``"mode<k>"``, ``"fields"``,
+  ``"phase_space"``, ``"training_pairs"``) that public API v1 requests
+  select per run; :func:`resolve_observables` builds a pipeline from a
+  selection for any engine family.
 
-Every series produced here is bitwise identical to what the legacy
-recorders produced: the measurements below are the exact functions the
-old recorders called, in the same order, and the paper monitors them in
-Figs. 4-6 (fundamental mode amplitude ``E1``, total energy, total
-momentum).
+Every default series produced here is bitwise identical to what the
+pre-pipeline recorders produced: the measurements below are the exact
+functions the old recorders called, in the same order, and the paper
+monitors them in Figs. 4-6 (fundamental mode amplitude ``E1``, total
+energy, total momentum).  The deprecated ``History`` /
+``EnsembleHistory`` wrapper classes were retired after one release;
+build an :class:`Observables` (or take one from
+``engine.observables()``) instead.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Protocol, Sequence
+import json
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Mapping, Protocol, Sequence
 
 import numpy as np
 
@@ -295,8 +301,51 @@ class PhaseSpaceSnapshot:
         return np.array(f, copy=True)
 
 
+class TrainingHistograms:
+    """Per-record phase-space histograms in the DL training layout.
+
+    Bins every member's ``(x, v)`` phase space on a fixed
+    :class:`~repro.phasespace.binning.PhaseSpaceGrid` exactly like the
+    data-generation harvest: positions at integer time with the
+    trailing half-step velocities — except at the initial record, where
+    velocities are still synchronized and the time-centered
+    ``frame.v_center`` is used (matching how the DL-PIC computes its
+    very first field).  Selecting this observable together with
+    ``"fields"`` through the service yields the campaign's
+    (histogram, field) training pairs per request.
+    """
+
+    names = ("histograms",)
+
+    def __init__(
+        self,
+        n_x: int,
+        n_v: int,
+        v_min: float,
+        v_max: float,
+        box_length: float,
+        order: str = "ngp",
+    ) -> None:
+        from repro.phasespace.binning import PhaseSpaceGrid
+
+        self.ps_grid = PhaseSpaceGrid(
+            n_x=int(n_x), n_v=int(n_v), v_min=float(v_min), v_max=float(v_max),
+            box_length=float(box_length),
+        )
+        self.order = order
+
+    def measure(self, frame: Frame) -> np.ndarray:
+        from repro.phasespace.binning import bin_phase_space_batch
+
+        v = frame.particles.v
+        if frame.step == 0 and frame.v_center is not None:
+            v = frame.v_center
+        x = np.atleast_2d(frame.particles.x)
+        return bin_phase_space_batch(x, np.atleast_2d(v), self.ps_grid, order=self.order)
+
+
 def pic_observables(record_fields: bool = False) -> "list[Observable]":
-    """The default PIC pipeline (the legacy ``History`` series)."""
+    """The default PIC pipeline (energies, momentum and ``mode1``)."""
     obs: "list[Observable]" = [ParticleEnergyMomentum(), ModeAmplitude(mode=1)]
     if record_fields:
         obs.append(FieldSnapshot())
@@ -313,6 +362,231 @@ def vlasov_observables(
     if record_distribution:
         obs.append(PhaseSpaceSnapshot())
     return obs
+
+
+# ----------------------------------------------------------------------
+# The observable registry: named, per-request-selectable measurements
+#
+# The public API's ``observables: [...]`` request field resolves here.
+# A selection entry is a registered name (``"energies"``), a
+# parameterized form (``{"name": "mode", "mode": 3}``) or the
+# ``"mode<k>"`` string sugar for it; :func:`canonical_observables`
+# normalizes any of these into a sorted, deduplicated tuple of
+# ``(name, ((param, value), ...))`` pairs — the form folded into
+# service group keys and result-store addresses — and
+# :func:`resolve_observables` builds the pipeline for an engine family.
+
+
+def _build_energies(kind: str) -> Observable:
+    return VlasovEnergyMomentum() if kind == "vlasov" else ParticleEnergyMomentum()
+
+
+def _build_mode(kind: str, mode: int = 1) -> Observable:
+    return ModeAmplitude(mode=int(mode))
+
+
+def _build_fields(kind: str) -> Observable:
+    return FieldSnapshot()
+
+
+def _build_phase_space(kind: str) -> Observable:
+    if kind != "vlasov":
+        raise ValueError(
+            "observable 'phase_space' records the Vlasov distribution f(x, v) "
+            f"and is only available for solver kind 'vlasov', not {kind!r}"
+        )
+    return PhaseSpaceSnapshot()
+
+
+def _build_training_pairs(
+    kind: str,
+    n_x: int = 64,
+    n_v: int = 64,
+    v_min: float = -0.5,
+    v_max: float = 0.5,
+    box_length: float = constants.TWO_STREAM_BOX_LENGTH,
+    order: str = "ngp",
+) -> Observable:
+    if kind != "pic":
+        raise ValueError(
+            "observable 'training_pairs' bins particle phase space and is only "
+            f"available for particle engine families, not kind {kind!r}"
+        )
+    return TrainingHistograms(
+        n_x=n_x, n_v=n_v, v_min=v_min, v_max=v_max, box_length=box_length, order=order
+    )
+
+
+@dataclass(frozen=True)
+class ObservableSpec:
+    """One registered, per-request-selectable observable.
+
+    ``build(kind, **params)`` constructs the measurement for an engine
+    family's state ``kind`` (``"pic"`` or ``"vlasov"``, see
+    :class:`repro.engines.base.EngineSpec`); it raises ``ValueError``
+    for families it cannot measure and ``TypeError`` for unknown
+    parameters — both surfaced at request-parse/submit time.
+    """
+
+    name: str
+    build: "Callable[..., Observable]"
+    description: str = ""
+
+
+_OBSERVABLE_SPECS: "dict[str, ObservableSpec]" = {}
+
+#: The selection applied when a request names no observables — exactly
+#: the historical default recorders (energies, momentum, ``mode1``).
+DEFAULT_OBSERVABLES = ("energies", "mode1")
+
+_MODE_SUGAR = re.compile(r"^mode(\d+)$")
+
+
+def register_observable(spec: ObservableSpec) -> ObservableSpec:
+    """Register a selectable observable under ``spec.name``."""
+    if spec.name in _OBSERVABLE_SPECS:
+        raise ValueError(f"observable {spec.name!r} is already registered")
+    _OBSERVABLE_SPECS[spec.name] = spec
+    return spec
+
+
+def available_observables() -> "tuple[str, ...]":
+    """Sorted names of every registered observable."""
+    return tuple(sorted(_OBSERVABLE_SPECS))
+
+
+def canonical_observables(
+    selection: "Sequence[object] | None",
+) -> "tuple[tuple[str, tuple[tuple[str, object], ...]], ...]":
+    """Normalize a request's observables selection.
+
+    ``None`` means :data:`DEFAULT_OBSERVABLES`.  Entries may be
+    registered names, ``"mode<k>"`` sugar, or ``{"name": ..., **params}``
+    mappings.  The result is sorted and deduplicated — two requests
+    selecting the same measurements in any order or spelling share one
+    canonical form (and therefore one cache key and one service batch).
+    Unknown names raise ``ValueError``.
+    """
+    entries = []
+    for entry in (DEFAULT_OBSERVABLES if selection is None else selection):
+        params: "dict[str, object]" = {}
+        if isinstance(entry, str):
+            name = entry
+            sugar = _MODE_SUGAR.match(entry)
+            if sugar is not None:
+                name, params = "mode", {"mode": int(sugar.group(1))}
+        elif isinstance(entry, Mapping):
+            params = {str(k): v for k, v in entry.items()}
+            name = params.pop("name", None)
+            if not isinstance(name, str):
+                raise ValueError(
+                    f"observable mapping needs a string 'name' field, got {entry!r}"
+                )
+        elif (
+            isinstance(entry, tuple)
+            and len(entry) == 2
+            and isinstance(entry[0], str)
+            and isinstance(entry[1], tuple)
+        ):
+            # Already-canonical (name, ((param, value), ...)) pair —
+            # canonicalization is idempotent.
+            name, params = entry[0], dict(entry[1])
+        else:
+            raise ValueError(
+                f"observables entries must be names or mappings, got {entry!r}"
+            )
+        if name not in _OBSERVABLE_SPECS:
+            raise ValueError(
+                f"unknown observable {name!r}; available: "
+                f"{', '.join(available_observables())} (plus 'mode<k>' sugar)"
+            )
+        for key, value in params.items():
+            if not isinstance(value, (str, int, float, bool)) and value is not None:
+                raise ValueError(
+                    f"observable {name!r} parameter {key!r} must be a JSON "
+                    f"scalar, got {type(value).__name__}"
+                )
+        entries.append((name, tuple(sorted(params.items()))))
+    if not entries:
+        raise ValueError("observables selection must not be empty")
+    try:
+        return tuple(sorted(set(entries)))
+    except TypeError as exc:
+        # Mixed param value types in one selection (e.g. 3 vs "3").
+        raise ValueError(f"observables selection is not orderable: {exc}") from None
+
+
+def selection_to_jsonable(
+    canonical: "Sequence[tuple[str, tuple[tuple[str, object], ...]]]",
+) -> "list[object]":
+    """The JSON request form of a canonical selection (round-trips)."""
+    out: "list[object]" = []
+    for name, params in canonical:
+        if not params:
+            out.append(name)
+        elif name == "mode" and len(params) == 1:
+            out.append(f"mode{params[0][1]}")
+        else:
+            out.append({"name": name, **dict(params)})
+    return out
+
+
+def observables_token(
+    canonical: "Sequence[tuple[str, tuple[tuple[str, object], ...]]]",
+) -> str:
+    """Deterministic string form of a selection (cache-key component)."""
+    return json.dumps(selection_to_jsonable(canonical), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def resolve_observables(
+    selection: "Sequence[object] | None", kind: str = "pic"
+) -> "list[Observable]":
+    """Build the pipeline for a selection and an engine-state kind.
+
+    Accepts any selection form (:func:`canonical_observables` runs
+    first), so callers can validate a request by resolving it — a bad
+    name, an unsupported family or an unknown parameter all raise
+    ``ValueError`` here instead of inside a running engine.
+    """
+    built: "list[Observable]" = []
+    for name, params in canonical_observables(selection):
+        spec = _OBSERVABLE_SPECS[name]
+        try:
+            built.append(spec.build(kind, **dict(params)))
+        except TypeError as exc:
+            raise ValueError(
+                f"bad parameters for observable {name!r}: {exc}"
+            ) from None
+    return built
+
+
+register_observable(ObservableSpec(
+    name="energies",
+    build=_build_energies,
+    description="kinetic/potential/total energy and momentum per record",
+))
+register_observable(ObservableSpec(
+    name="mode",
+    build=_build_mode,
+    description="Fourier mode amplitude of the field (params: mode; sugar 'mode<k>')",
+))
+register_observable(ObservableSpec(
+    name="fields",
+    build=_build_fields,
+    description="full grid field snapshot per record (memory-hungry)",
+))
+register_observable(ObservableSpec(
+    name="phase_space",
+    build=_build_phase_space,
+    description="Vlasov distribution f(x, v) snapshot per record (vlasov only)",
+))
+register_observable(ObservableSpec(
+    name="training_pairs",
+    build=_build_training_pairs,
+    description="phase-space histograms in the DL training layout (pic only; "
+                "params: n_x, n_v, v_min, v_max, box_length, order)",
+))
 
 
 # ----------------------------------------------------------------------
@@ -512,150 +786,3 @@ class Observables:
             return float(mom[-1] - mom[0])
         return mom[-1] - mom[0]
 
-
-# ----------------------------------------------------------------------
-# Legacy recorders — thin wrappers kept importable for one release
-
-
-class History(Observables):
-    """Single-run recorder with the pre-pipeline ``History`` surface.
-
-    Deprecated shim: construction, ``record``, the series attributes
-    (``time``, ``kinetic``, ..., ``fields``), ``snapshots`` and
-    ``as_arrays`` all behave exactly as before, but the storage is the
-    streaming :class:`Observables` pipeline.  New code should build an
-    ``Observables`` directly (or take one from ``engine.observables()``).
-    """
-
-    def __init__(self, record_fields: bool = False, snapshot_every: int = 0) -> None:
-        super().__init__(pic_observables(record_fields), squeeze=True)
-        self.record_fields = record_fields
-        self.snapshot_every = snapshot_every  # 0 disables particle snapshots
-        self.snapshots: "list[tuple[float, np.ndarray, np.ndarray]]" = []
-        self._frame = Frame(0, 0.0, None, None)  # reused per record
-
-    def record(
-        self,
-        step: int,
-        time: float,
-        grid: "Grid1D",
-        particles: "ParticleSet",
-        e: np.ndarray,
-        v_center: "np.ndarray | None" = None,
-    ) -> None:
-        """Append diagnostics for the state at ``time``."""
-        frame = self._frame
-        frame.step = step
-        frame.time = time
-        frame.grid = grid
-        frame.efield = e
-        frame.particles = particles
-        frame.v_center = v_center
-        self.record_frame(frame)
-        if self.snapshot_every > 0 and step % self.snapshot_every == 0:
-            self.snapshots.append((time, particles.x.copy(), particles.v.copy()))
-
-    # The legacy dataclass exposed each series as an attribute.
-    @property
-    def time(self) -> np.ndarray:
-        return self._series("time")
-
-    @property
-    def kinetic(self) -> np.ndarray:
-        return self._series("kinetic")
-
-    @property
-    def potential(self) -> np.ndarray:
-        return self._series("potential")
-
-    @property
-    def total(self) -> np.ndarray:
-        return self._series("total")
-
-    @property
-    def momentum(self) -> np.ndarray:
-        return self._series("momentum")
-
-    @property
-    def mode1(self) -> np.ndarray:
-        return self._series("mode1")
-
-    @property
-    def fields(self) -> np.ndarray:
-        # The legacy dataclass always exposed `fields` (an empty list
-        # unless record_fields was set); stay attribute-compatible.
-        if not self.record_fields:
-            return np.empty(0, dtype=np.float64)
-        return self._series("fields")
-
-
-class EnsembleHistory(Observables):
-    """Batched recorder with the pre-pipeline ``EnsembleHistory`` surface.
-
-    Deprecated shim over :class:`Observables` (see :class:`History`);
-    ``as_arrays`` returns ``(n_records, batch)`` series and ``member(b)``
-    extracts one run in the ``History`` layout, exactly as before.
-    """
-
-    def __init__(self, record_fields: bool = False) -> None:
-        super().__init__(pic_observables(record_fields), squeeze=False)
-        self.record_fields = record_fields
-        self._frame = Frame(0, 0.0, None, None)  # reused per record
-
-    def record(
-        self,
-        step: int,
-        time: float,
-        grid: "Grid1D",
-        particles: "ParticleSet",
-        e: np.ndarray,
-        v_center: "np.ndarray | None" = None,
-    ) -> None:
-        """Append per-run diagnostics for the batched state at ``time``."""
-        frame = self._frame
-        frame.step = step
-        frame.time = time
-        frame.grid = grid
-        frame.efield = e
-        frame.particles = particles
-        frame.v_center = v_center
-        self.record_frame(frame)
-
-    def member(self, b: int) -> "dict[str, np.ndarray]":
-        """One ensemble member's series, keyed like ``History.as_arrays``."""
-        out = super().member(b)
-        if not self.record_fields:
-            out.pop("fields", None)
-        return out
-
-    @property
-    def time(self) -> np.ndarray:
-        return self._series("time")
-
-    @property
-    def kinetic(self) -> np.ndarray:
-        return self._series("kinetic")
-
-    @property
-    def potential(self) -> np.ndarray:
-        return self._series("potential")
-
-    @property
-    def total(self) -> np.ndarray:
-        return self._series("total")
-
-    @property
-    def momentum(self) -> np.ndarray:
-        return self._series("momentum")
-
-    @property
-    def mode1(self) -> np.ndarray:
-        return self._series("mode1")
-
-    @property
-    def fields(self) -> np.ndarray:
-        # The legacy dataclass always exposed `fields` (an empty list
-        # unless record_fields was set); stay attribute-compatible.
-        if not self.record_fields:
-            return np.empty(0, dtype=np.float64)
-        return self._series("fields")

@@ -1,10 +1,13 @@
-"""Shared run helpers: execute engine runs through the registry.
+"""Shared run helpers: execute experiment runs through the public API.
 
-Every experiment run — traditional, DL or Vlasov — is built by
-:func:`repro.engines.make_engine` as a batch-of-one engine, so the
-experiment pipeline picks up new engine families for free.  Series are
-extracted in the single-run :class:`History` layout (bitwise identical
-to the pre-registry per-run simulations).
+Every experiment run — traditional, DL, Vlasov or energy-conserving —
+is a :class:`~repro.api.RunRequest` served by a synchronous
+:class:`~repro.api.Client` (in-process service, thread-free), so the
+experiment pipeline exercises the exact contract external callers use
+and picks up new engine families for free.  Results carry the
+single-run series layout plus the final phase space
+(``phase_space=True``), bitwise identical to the pre-API per-run
+simulations for float64 configs.
 """
 
 from __future__ import annotations
@@ -13,9 +16,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api import Client, RunRequest, RunResult
 from repro.config import SimulationConfig
 from repro.dlpic.solver import DLFieldSolver
-from repro.engines.base import Engine, make_engine
 
 
 @dataclass
@@ -35,25 +38,20 @@ class MethodRun:
     momentum_drift: float
 
 
-def _execute(
-    engine: Engine, label: str, n_steps: "int | None",
-    config: "SimulationConfig | None" = None,
+def _method_run(
+    result: RunResult, label: str, config: SimulationConfig
 ) -> MethodRun:
-    history = engine.run(n_steps)
-    particles = getattr(engine, "particles", None)
     return MethodRun(
         label=label,
         # Report the caller's config: a (traditional, dl) pair ran the
-        # same physical configuration even though the engines were
+        # same physical configuration even though the requests were
         # built from solver-retagged copies.
-        config=config if config is not None else engine.config,
-        series=history.member(0),
-        final_x=particles.x[0].copy() if particles is not None else None,
-        final_v=(
-            engine.v_at_integer_time[0].copy() if particles is not None else None
-        ),
-        energy_variation=float(history.energy_variation()[0]),
-        momentum_drift=float(history.momentum_drift()[0]),
+        config=config,
+        series={name: np.asarray(values) for name, values in result.series.items()},
+        final_x=None if result.final_x is None else np.asarray(result.final_x),
+        final_v=None if result.final_v is None else np.asarray(result.final_v),
+        energy_variation=result.energy_variation(),
+        momentum_drift=result.momentum_drift(),
     )
 
 
@@ -63,23 +61,29 @@ def run_engine(
     label: "str | None" = None,
     n_steps: "int | None" = None,
 ) -> MethodRun:
-    """Run ``config`` through its registered engine family."""
-    engine = make_engine(config, dl_solver=dl_solver)
-    return _execute(engine, label if label is not None else config.solver, n_steps)
+    """Run ``config`` through its registered engine family via the API."""
+    run_config = config if n_steps is None else config.with_updates(n_steps=n_steps)
+    with Client(background=False, dl_solver=dl_solver) as client:
+        result = client.run(RunRequest(config=run_config, phase_space=True))
+    return _method_run(result, label if label is not None else config.solver, config)
 
 
 def run_traditional(config: SimulationConfig, n_steps: "int | None" = None) -> MethodRun:
     """Run the traditional PIC method for ``config``."""
-    engine = make_engine(config.with_updates(solver="traditional"))
-    return _execute(engine, "Traditional PIC", n_steps, config=config)
+    run = run_engine(config.with_updates(solver="traditional"), n_steps=n_steps,
+                     label="Traditional PIC")
+    run.config = config
+    return run
 
 
 def run_dl(
     config: SimulationConfig, solver: DLFieldSolver, n_steps: "int | None" = None
 ) -> MethodRun:
     """Run the DL-based PIC method with a trained field solver."""
-    engine = make_engine(config.with_updates(solver="dl"), dl_solver=solver)
-    return _execute(engine, "DL-based PIC", n_steps, config=config)
+    run = run_engine(config.with_updates(solver="dl"), dl_solver=solver,
+                     n_steps=n_steps, label="DL-based PIC")
+    run.config = config
+    return run
 
 
 def run_pair(

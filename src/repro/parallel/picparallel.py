@@ -29,8 +29,8 @@ from repro.config import SimulationConfig
 from repro.dlpic.solver import DLFieldSolver
 from repro.parallel.comm import CommStats, SimulatedComm
 from repro.parallel.decomposition import DomainDecomposition1D
+from repro.engines.observables import Observables
 from repro.phasespace.binning import PhaseSpaceGrid, bin_phase_space
-from repro.pic.diagnostics import History
 from repro.pic.grid import Grid1D
 from repro.pic.interpolation import deposit
 from repro.pic.poisson import PoissonSolver
@@ -44,7 +44,7 @@ class DistributedPICResult:
     label: str
     n_ranks: int
     n_steps: int
-    history: History
+    history: Observables
     comm: CommStats
 
     @property

@@ -11,8 +11,6 @@ from repro.pic.interpolation import deposit, gather
 from repro.pic.poisson import PoissonSolver, electric_field_from_potential
 from repro.pic.mover import push_positions, push_velocities
 from repro.pic.diagnostics import (
-    EnsembleHistory,
-    History,
     field_energy,
     kinetic_energy,
     mode_amplitude,
@@ -31,7 +29,7 @@ from repro.pic.scenarios import (
     register_scenario,
 )
 from repro.pic.simulation import EnsembleSimulation, PICSimulation, TraditionalPIC
-from repro.pic.energy_conserving import EnergyConservingPIC
+from repro.pic.energy_conserving import EnergyConservingEnsemble, EnergyConservingPIC
 
 __all__ = [
     "Grid1D",
@@ -43,8 +41,6 @@ __all__ = [
     "electric_field_from_potential",
     "push_positions",
     "push_velocities",
-    "History",
-    "EnsembleHistory",
     "field_energy",
     "kinetic_energy",
     "mode_amplitude",
@@ -63,4 +59,5 @@ __all__ = [
     "EnsembleSimulation",
     "TraditionalPIC",
     "EnergyConservingPIC",
+    "EnergyConservingEnsemble",
 ]

@@ -1,20 +1,21 @@
 """Conservation and spectral diagnostics for PIC runs (compat shim).
 
-The implementation moved to :mod:`repro.engines.observables`, the
+The implementation lives in :mod:`repro.engines.observables`, the
 streaming observables pipeline shared by every engine family; this
-module keeps the historical import surface of ``repro.pic.diagnostics``
-working for one release.  The measurement functions are re-exported
-unchanged, and :class:`History` / :class:`EnsembleHistory` are now thin
-wrappers over :class:`~repro.engines.observables.Observables` with the
-exact pre-pipeline constructor, ``record`` signature, attribute access
-and ``as_arrays`` layout (bitwise-identical series).
+module re-exports the measurement functions unchanged.
+
+The deprecated ``History`` / ``EnsembleHistory`` recorder classes have
+been **removed** (they wrapped the pipeline for one release after the
+engine-layer unification).  Importing them from here raises a helpful
+``ImportError`` pointing at the replacements: build an
+:class:`~repro.engines.observables.Observables` (or take one from
+``engine.observables()``), and consume served runs through
+:class:`repro.api.RunResult`.
 """
 
 from __future__ import annotations
 
 from repro.engines.observables import (
-    EnsembleHistory,
-    History,
     field_energy,
     field_energy_rows,
     kinetic_energy,
@@ -27,8 +28,6 @@ from repro.engines.observables import (
 )
 
 __all__ = [
-    "History",
-    "EnsembleHistory",
     "kinetic_energy",
     "field_energy",
     "total_momentum",
@@ -39,3 +38,21 @@ __all__ = [
     "total_momentum_rows",
     "mode_amplitude_rows",
 ]
+
+_RETIRED = {
+    "History": "Observables(pic_observables(), squeeze=True)",
+    "EnsembleHistory": "Observables(pic_observables())",
+}
+
+
+def __getattr__(name: str):
+    if name in _RETIRED:
+        raise ImportError(
+            f"repro.pic.diagnostics.{name} was deprecated in the engine-layer "
+            f"unification and has now been removed.  Use the streaming "
+            f"observables pipeline instead: `from repro.engines.observables "
+            f"import Observables, pic_observables` and build "
+            f"`{_RETIRED[name]}` (engines return one from `run()`; served "
+            f"runs expose their series via `repro.api.RunResult`)."
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

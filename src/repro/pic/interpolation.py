@@ -42,8 +42,17 @@ def _check_order(order: str) -> None:
 
 
 def _check_positions(positions: np.ndarray) -> np.ndarray:
-    """Coerce positions to float64 and reject anything but (n,) or (batch, n)."""
-    x = np.asarray(positions, dtype=np.float64)
+    """Coerce positions to a float dtype and check the shape.
+
+    float32 inputs stay float32 (the reduced-precision serving tier
+    runs the whole cycle in single precision); everything else is
+    coerced to float64 exactly as before, so float64 callers keep the
+    historical bit-for-bit behavior.  Shapes other than ``(n,)`` and
+    ``(batch, n)`` are rejected.
+    """
+    x = np.asarray(positions)
+    if x.dtype != np.float32:
+        x = np.asarray(x, dtype=np.float64)
     if x.ndim not in (1, 2):
         raise ValueError(
             "positions must be a 1-D (n,) array or a 2-D batched (batch, n) "
@@ -57,10 +66,15 @@ def _wrap_positions(x: np.ndarray, length: float) -> np.ndarray:
 
     ``np.mod`` is an identity on in-range values, so the fast path is
     bitwise equivalent — it just avoids a full division pass over what
-    is, in the PIC cycle, always pre-wrapped data.
+    is, in the PIC cycle, always pre-wrapped data.  The float32 tier's
+    cheap wrap (:func:`repro.pic.mover.push_positions`) can land a
+    particle exactly *on* ``L``; index ``n_cells`` wraps to node 0 with
+    the correct weights, so such positions pass through too.
     """
-    if x.size and 0.0 <= x.min() and x.max() < length:
-        return x
+    if x.size and 0.0 <= x.min():
+        xmax = x.max()
+        if xmax < length or (xmax == length and x.dtype == np.float32):
+            return x
     return np.mod(x, length)
 
 
@@ -77,9 +91,22 @@ def _wrap_indices(j: np.ndarray, n: int) -> np.ndarray:
     return j % n
 
 
+def _floor_indices(s: np.ndarray) -> np.ndarray:
+    """``floor(s)`` as int64 indices for non-negative grid coordinates.
+
+    The float64 path keeps the historical ``np.floor`` + ``astype``
+    pair bit-for-bit.  The float32 tier truncates directly — identical
+    to ``floor`` because positions are pre-wrapped to ``[0, L]`` so
+    ``s >= 0`` — which skips a full array pass on the hot path.
+    """
+    if s.dtype == np.float32:
+        return s.astype(np.int64)
+    return np.floor(s).astype(np.int64)
+
+
 def _ngp_indices(x: np.ndarray, grid: Grid1D) -> np.ndarray:
     """Index of the nearest grid node, periodic."""
-    return _wrap_indices(np.floor(x / grid.dx + 0.5).astype(np.int64), grid.n_cells)
+    return _wrap_indices(_floor_indices(x / grid.dx + 0.5), grid.n_cells)
 
 
 def _cic_indices_weights(
@@ -87,8 +114,9 @@ def _cic_indices_weights(
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Left/right node indices and weights for linear interpolation."""
     s = x / grid.dx
-    j = np.floor(s).astype(np.int64)
-    frac = s - j
+    j = _floor_indices(s)
+    # float32 - int64 would promote to float64; keep the tier's dtype.
+    frac = s - (j if s.dtype == np.float64 else j.astype(s.dtype))
     j_left = _wrap_indices(j, grid.n_cells)
     j_right = _wrap_indices(j + 1, grid.n_cells)
     return j_left, j_right, 1.0 - frac, frac
@@ -99,8 +127,8 @@ def _tsc_indices_weights(
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Three node indices and quadratic-spline weights per particle."""
     s = x / grid.dx
-    j = np.floor(s + 0.5).astype(np.int64)  # nearest node
-    d = s - j  # in [-1/2, 1/2)
+    j = _floor_indices(s + 0.5)  # nearest node
+    d = s - (j if s.dtype == np.float64 else j.astype(s.dtype))  # in [-1/2, 1/2)
     w_center = 0.75 - d * d
     w_left = 0.5 * (0.5 - d) ** 2
     w_right = 0.5 * (0.5 + d) ** 2
@@ -137,7 +165,7 @@ def deposit(
     _check_order(order)
     x = _wrap_positions(_check_positions(positions), grid.length)
     try:
-        w = np.broadcast_to(np.asarray(weights, dtype=np.float64), x.shape)
+        w = np.broadcast_to(np.asarray(weights, dtype=x.dtype), x.shape)
     except ValueError:
         raise ValueError(
             f"weights of shape {np.shape(weights)} do not broadcast to "
@@ -147,7 +175,10 @@ def deposit(
     x2 = np.atleast_2d(x)
     w2 = np.atleast_2d(w)
     batch = x2.shape[0]
-    out = np.zeros((batch, grid.n_cells), dtype=np.float64)
+    # The density accumulates in the positions' dtype: float64 runs keep
+    # the historical bit-for-bit accumulation, float32 runs accumulate
+    # (and return) single precision.
+    out = np.zeros((batch, grid.n_cells), dtype=x.dtype)
     flat = out.reshape(-1)
     # Offset flat indices scatter every row into its own output row with
     # a single np.add.at over the whole ensemble; the indices and weight
@@ -188,7 +219,9 @@ def gather(
     result is ``(batch, n)``.
     """
     _check_order(order)
-    field = np.asarray(field, dtype=np.float64)
+    field = np.asarray(field)
+    if field.dtype != np.float32:
+        field = np.asarray(field, dtype=np.float64)
     x = _wrap_positions(_check_positions(positions), grid.length)
     if x.ndim == 1:
         if field.shape != (grid.n_cells,):

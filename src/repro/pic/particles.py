@@ -36,8 +36,14 @@ class ParticleSet:
     mass: float
 
     def __post_init__(self) -> None:
-        self.x = np.asarray(self.x, dtype=np.float64)
-        self.v = np.asarray(self.v, dtype=np.float64)
+        # float32 state passes through unchanged (the reduced-precision
+        # serving tier); everything else is coerced to float64.
+        self.x = np.asarray(self.x)
+        self.v = np.asarray(self.v)
+        if self.x.dtype != np.float32:
+            self.x = np.asarray(self.x, dtype=np.float64)
+        if self.v.dtype != np.float32:
+            self.v = np.asarray(self.v, dtype=np.float64)
         if self.x.shape != self.v.shape or self.x.ndim not in (1, 2):
             raise ValueError(
                 "x and v must be equal-shape 1D (n,) or batched (batch, n) arrays, "

@@ -39,7 +39,12 @@ _GRADIENTS = ("central", "spectral")
 
 
 def _validate_grid_array(grid: Grid1D, arr: np.ndarray, name: str) -> np.ndarray:
-    arr = np.asarray(arr, dtype=np.float64)
+    # float32 arrays pass through unchanged (the reduced-precision
+    # serving tier batches single-precision FFTs); anything else is
+    # coerced to float64 exactly as before.
+    arr = np.asarray(arr)
+    if arr.dtype != np.float32:
+        arr = np.asarray(arr, dtype=np.float64)
     if arr.ndim not in (1, 2) or arr.shape[-1] != grid.n_cells:
         raise ValueError(
             f"{name} has shape {arr.shape}, expected ({grid.n_cells},) or "
@@ -186,9 +191,10 @@ class PoissonSolver:
         if self.gradient == "central":
             return -(np.roll(phi, -1, axis=-1) - np.roll(phi, 1, axis=-1)) / (2.0 * self.grid.dx)
         phi_k = np.fft.rfft(phi, axis=-1)
-        return np.fft.irfft(
-            self._spectral_gradient_symbol * phi_k, n=self.grid.n_cells, axis=-1
-        )
+        symbol = self._spectral_gradient_symbol
+        if phi_k.dtype == np.complex64:
+            symbol = symbol.astype(np.complex64)
+        return np.fft.irfft(symbol * phi_k, n=self.grid.n_cells, axis=-1)
 
     def solve(self, rho: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(phi, E)`` for the charge density ``rho``."""

@@ -11,8 +11,8 @@ overhead across the batch.
 :class:`PICSimulation` — the computational cycle shared by the
 traditional and the DL-based method (the white boxes of the paper's
 Figs. 1-2) — is a thin ``batch=1`` view over the ensemble engine that
-keeps the original single-run API (1-D particle arrays, ``History``
-diagnostics, per-run pluggable ``FieldSolver``).
+keeps the original single-run API (1-D particle arrays, squeezed
+``Observables`` diagnostics, per-run pluggable ``FieldSolver``).
 
 :class:`TraditionalPIC` wires in the classic charge-deposit + Poisson
 field solve (Fig. 1); ``repro.dlpic.DLPIC`` wires in the neural solver
@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.config import SimulationConfig
 from repro.engines.base import STRUCTURAL_FIELDS
-from repro.pic.diagnostics import EnsembleHistory, History
+from repro.engines.observables import Frame, Observables, pic_observables
 from repro.pic.grid import Grid1D
 from repro.pic.interpolation import charge_density, gather
 from repro.pic.mover import push_positions, push_velocities, rewind_velocities
@@ -191,11 +191,19 @@ class EnsembleSimulation:
             )
         self.field_solver = as_batched_solver(field_solver)
         self.particles: ParticleSet = load_ensemble(self.configs, rngs)
+        # The numerical tier: float64 runs are bitwise reproducible;
+        # float32 runs load identically (same RNG draws, in double) and
+        # then cast the initial state down, after which the whole cycle
+        # — gather, push, deposit, FFTs — runs in single precision.
+        self._dtype = ref.np_dtype
+        if self._dtype == np.float32:
+            self.particles.x = self.particles.x.astype(np.float32)
+            self.particles.v = self.particles.v.astype(np.float32)
         self.time: float = 0.0
         self.step_index: int = 0
         # Field at t=0 consistent with the initial particle state.
         self.efield: np.ndarray = np.asarray(
-            self.field_solver.field(self.particles.x, self.particles.v), dtype=np.float64
+            self.field_solver.field(self.particles.x, self.particles.v), dtype=self._dtype
         )
         if self.efield.shape != (self.batch, ref.n_cells):
             raise ValueError(
@@ -236,9 +244,16 @@ class EnsembleSimulation:
         """Velocities synchronized to the current integer time, ``(batch, n)``."""
         return self._v_integer
 
-    def observables(self, record_fields: bool = False) -> EnsembleHistory:
+    def observables(self, record_fields: bool = False) -> Observables:
         """A fresh default observables recorder for this engine."""
-        return EnsembleHistory(record_fields=record_fields)
+        return Observables(pic_observables(record_fields=record_fields))
+
+    def _record(self, hist: Observables) -> None:
+        """Stream the current state into ``hist`` as one batched frame."""
+        hist.record_frame(Frame(
+            self.step_index, self.time, self.grid, self.efield,
+            particles=self.particles, v_center=self._v_integer,
+        ))
 
     def step(self) -> None:
         """Advance every member one PIC cycle (gather -> push v -> push x -> field)."""
@@ -248,7 +263,7 @@ class EnsembleSimulation:
         self.particles.v = v_new
         self.particles.x = push_positions(self.particles.x, v_new, cfg.dt, cfg.box_length)
         self.efield = np.asarray(
-            self.field_solver.field(self.particles.x, self.particles.v), dtype=np.float64
+            self.field_solver.field(self.particles.x, self.particles.v), dtype=self._dtype
         )
         self.step_index += 1
         self.time += cfg.dt
@@ -260,14 +275,17 @@ class EnsembleSimulation:
     def run(
         self,
         n_steps: "int | None" = None,
-        history: "EnsembleHistory | None" = None,
+        history: "Observables | None" = None,
         callback: "Callable[[EnsembleSimulation], None] | None" = None,
-    ) -> EnsembleHistory:
+    ) -> Observables:
         """Run ``n_steps`` cycles, recording batched diagnostics each step.
 
         The history includes the initial state, so it holds
-        ``n_steps + 1`` records of ``(batch,)`` vectors.  ``callback``
-        fires after every step (used by the vectorized data campaign).
+        ``n_steps + 1`` records of ``(batch,)`` vectors.  Pass any
+        :class:`Observables` pipeline (e.g. one built from a request's
+        observables selection) to record custom measurements.
+        ``callback`` fires after every step (used by the vectorized
+        data campaign).
         """
         if n_steps is None:
             if any(cfg.n_steps != self.config.n_steps for cfg in self.configs):
@@ -282,12 +300,10 @@ class EnsembleSimulation:
             raise ValueError(f"n_steps must be non-negative, got {n}")
         hist = history if history is not None else self.observables()
         hist.reserve(len(hist) + n + 1)  # stream into one preallocated buffer
-        hist.record(self.step_index, self.time, self.grid, self.particles, self.efield,
-                    v_center=self._v_integer)
+        self._record(hist)
         for _ in range(n):
             self.step()
-            hist.record(self.step_index, self.time, self.grid, self.particles, self.efield,
-                        v_center=self._v_integer)
+            self._record(hist)
             if callback is not None:
                 callback(self)
         return hist
@@ -297,8 +313,8 @@ class PICSimulation:
     """Single-run view of the ensemble engine (``batch=1``).
 
     Keeps the seed API: 1-D ``particles`` arrays, a per-run
-    :class:`FieldSolver` (lifted internally), ``History`` diagnostics
-    and the leapfrog staggering described on
+    :class:`FieldSolver` (lifted internally), squeezed ``Observables``
+    diagnostics and the leapfrog staggering described on
     :class:`EnsembleSimulation`.  The trajectory is bitwise identical
     to the pre-ensemble single-run implementation.
     """
@@ -336,19 +352,27 @@ class PICSimulation:
         so this costs nothing when the state was not touched.
         """
         ens = self._ensemble
-        ens.particles.x = np.asarray(self.particles.x, dtype=np.float64).reshape(1, -1)
-        ens.particles.v = np.asarray(self.particles.v, dtype=np.float64).reshape(1, -1)
-        ens.efield = np.asarray(self.efield, dtype=np.float64).reshape(1, -1)
-        ens._v_integer = np.asarray(self._v_integer, dtype=np.float64).reshape(1, -1)
+        dtype = ens._dtype
+        ens.particles.x = np.asarray(self.particles.x, dtype=dtype).reshape(1, -1)
+        ens.particles.v = np.asarray(self.particles.v, dtype=dtype).reshape(1, -1)
+        ens.efield = np.asarray(self.efield, dtype=dtype).reshape(1, -1)
+        ens._v_integer = np.asarray(self._v_integer, dtype=dtype).reshape(1, -1)
 
     @property
     def v_at_integer_time(self) -> np.ndarray:
         """Velocities synchronized to the current integer time."""
         return self._v_integer
 
-    def observables(self, record_fields: bool = False) -> History:
+    def observables(self, record_fields: bool = False) -> Observables:
         """A fresh default observables recorder for this single run."""
-        return History(record_fields=record_fields)
+        return Observables(pic_observables(record_fields=record_fields), squeeze=True)
+
+    def _record(self, hist: Observables) -> None:
+        """Stream the current 1-D state into ``hist`` as one frame."""
+        hist.record_frame(Frame(
+            self.step_index, self.time, self.grid, self.efield,
+            particles=self.particles, v_center=self._v_integer,
+        ))
 
     def step(self) -> None:
         """Advance one PIC cycle (gather -> push v -> push x -> field)."""
@@ -359,9 +383,9 @@ class PICSimulation:
     def run(
         self,
         n_steps: "int | None" = None,
-        history: "History | None" = None,
+        history: "Observables | None" = None,
         callback: "Callable[[PICSimulation], None] | None" = None,
-    ) -> History:
+    ) -> Observables:
         """Run ``n_steps`` cycles, recording diagnostics at every step.
 
         The history includes the initial state, so it holds
@@ -373,12 +397,10 @@ class PICSimulation:
             raise ValueError(f"n_steps must be non-negative, got {n}")
         hist = history if history is not None else self.observables()
         hist.reserve(len(hist) + n + 1)  # stream into one preallocated buffer
-        hist.record(self.step_index, self.time, self.grid, self.particles, self.efield,
-                    v_center=self._v_integer)
+        self._record(hist)
         for _ in range(n):
             self.step()
-            hist.record(self.step_index, self.time, self.grid, self.particles, self.efield,
-                        v_center=self._v_integer)
+            self._record(hist)
             if callback is not None:
                 callback(self)
         return hist

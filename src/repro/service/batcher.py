@@ -49,12 +49,22 @@ def group_key(config: SimulationConfig, solver: "str | None" = None) -> Hashable
 
 @dataclass
 class PendingRequest:
-    """A submitted run waiting to be batched."""
+    """A submitted run waiting to be batched.
+
+    ``observables`` is the request's canonical observables selection
+    (see :func:`repro.engines.observables.canonical_observables`); one
+    engine execution records ONE pipeline, so requests co-batch only
+    with identical selections.  ``phase_space`` asks for the final
+    particle/distribution state — captured per request at result-build
+    time, so it does not affect grouping.
+    """
 
     key: str  # content address (store/in-flight slot)
     config: SimulationConfig
     solver: str
     future: "Future[object]"
+    observables: "tuple | None" = None
+    phase_space: bool = False
     submitted_at: float = field(default_factory=time.monotonic)
 
 
@@ -80,7 +90,8 @@ class MicroBatcher:
 
     def add(self, request: PendingRequest) -> None:
         """File a request under its compatibility bucket."""
-        self._groups.setdefault(group_key(request.config, request.solver), []).append(request)
+        bucket = (group_key(request.config, request.solver), request.observables)
+        self._groups.setdefault(bucket, []).append(request)
 
     def take_ready(self, now: "float | None" = None) -> list[list[PendingRequest]]:
         """Pop and return every group due for execution.

@@ -1,65 +1,81 @@
-"""JSONL request format shared by ``repro serve`` and the tests.
+"""JSONL request parsing: a thin front end over API v1.
 
-One request per line, each a JSON object of
-:meth:`SimulationConfig.to_dict` fields (missing fields take the config
-defaults, unknown keys are rejected) plus one reserved, optional key::
+One request per line.  The canonical form is the versioned v1 envelope
+(see :mod:`repro.api.envelope`)::
 
-    {"scenario": "two_stream", "v0": 0.2, "seed": 3,
-     "id": "my-run", "solver": "vlasov"}
+    {"api_version": "v1", "id": "my-run",
+     "config": {"scenario": "two_stream", "v0": 0.2, "seed": 3,
+                "solver": "vlasov"},
+     "observables": ["energies", "mode1"], "dtype": "float32"}
 
-``id``
-    Caller's name for the request (defaults to ``request-<line#>``,
-    1-based); echoed in the manifest so responses can be correlated.
-``solver``
-    A regular config field since the engine registry unification:
-    the engine family that runs the request — ``"traditional"`` (the
-    default), ``"dl"`` or ``"vlasov"`` (whose velocity-grid knobs ride
-    in ``extra``).
+Legacy bare-config lines — :meth:`SimulationConfig.to_dict` fields at
+the top level plus an optional ``id`` — are still accepted with a
+``DeprecationWarning``::
 
-Blank lines and ``#`` comment lines are skipped.
+    {"scenario": "two_stream", "v0": 0.2, "seed": 3, "id": "my-run"}
+
+A line is treated as a v1 envelope whenever it carries ``api_version``
+or ``config``.  Envelope-only keys (``observables``, ``metadata``,
+``tags``, ``phase_space``) appearing on a bare legacy line are rejected
+with a pointer to the envelope form — they are reserved, never silently
+treated as config fields.  Blank lines and ``#`` comment lines are
+skipped.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+import warnings
 from typing import Iterable
 
+from repro.api.envelope import RESERVED_CONFIG_KEYS, RunRequest
 from repro.config import SimulationConfig
 from repro.engines.base import validate_engine_config
 
 RESERVED_KEYS = ("id",)
 
-
-@dataclass
-class ServiceRequest:
-    """A parsed request line: the config plus routing metadata."""
-
-    config: SimulationConfig
-    solver: str = "traditional"
-    id: str = ""
+# Importable alias kept for pre-v1 call sites; the parsed request type
+# IS the public envelope now.
+ServiceRequest = RunRequest
 
 
-def parse_request(obj: dict, index: int = 0) -> ServiceRequest:
-    """Build a :class:`ServiceRequest` from one decoded JSONL object.
+def parse_request(obj: dict, index: int = 0) -> RunRequest:
+    """Build a :class:`RunRequest` from one decoded JSONL object.
 
     ``index`` (the 1-based input line number when coming from
     :func:`read_requests`) names requests without an explicit ``id``.
-    The scenario and solver are validated against their registries here
-    so a typo fails the parse, not the engine.
+    Envelope fields, config fields, scenario, solver and observables
+    are all validated here so a typo fails the parse, not the engine.
     """
     if not isinstance(obj, dict):
         raise ValueError(f"request must be a JSON object, got {type(obj).__name__}")
+    if "api_version" in obj or "config" in obj:
+        return RunRequest.from_dict(obj, index=index)
+
+    # Legacy bare-config line: config fields at the top level + "id".
+    warnings.warn(
+        "bare-config request lines are deprecated; wrap the config in a "
+        'v1 envelope: {"api_version": "v1", "id": ..., "config": {...}}',
+        DeprecationWarning,
+        stacklevel=2,
+    )
     payload = dict(obj)
     request_id = str(payload.pop("id", f"request-{index}"))
+    reserved = sorted(set(payload) & set(RESERVED_CONFIG_KEYS))
+    if reserved:
+        raise ValueError(
+            f"key(s) {', '.join(map(repr, reserved))} are reserved for the v1 "
+            f"request envelope and are not config fields; send "
+            f'{{"api_version": "v1", "config": {{...}}, ...}} instead'
+        )
     config = SimulationConfig.from_dict(payload)
     validate_engine_config(config)  # any registry family, built-in or user
-    return ServiceRequest(config=config, solver=config.solver, id=request_id)
+    return RunRequest(config=config, id=request_id)
 
 
-def read_requests(lines: Iterable[str]) -> list[ServiceRequest]:
+def read_requests(lines: Iterable[str]) -> list[RunRequest]:
     """Parse a JSONL stream; errors carry the 1-based line number."""
-    requests: list[ServiceRequest] = []
+    requests: list[RunRequest] = []
     for lineno, line in enumerate(lines, 1):
         text = line.strip()
         if not text or text.startswith("#"):

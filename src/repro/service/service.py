@@ -35,6 +35,11 @@ from typing import TYPE_CHECKING
 
 from repro.config import SimulationConfig
 from repro.engines.base import make_engine, validate_engine_config
+from repro.engines.observables import (
+    Observables,
+    canonical_observables,
+    resolve_observables,
+)
 from repro.service.batcher import MicroBatcher, PendingRequest
 from repro.service.store import ResultStore, SimulationResult, result_key
 
@@ -107,18 +112,31 @@ class SimulationService:
 
     # -- public API ------------------------------------------------------
     def submit(
-        self, config: SimulationConfig, solver: "str | None" = None
+        self,
+        config: SimulationConfig,
+        solver: "str | None" = None,
+        observables: "object | None" = None,
+        phase_space: bool = False,
     ) -> "Future[SimulationResult]":
         """Request a run; the future resolves to a :class:`SimulationResult`.
 
         The engine family comes from ``config.solver``; the ``solver``
         argument is a legacy override kept for callers that routed it
         separately (the config is retagged when they disagree).
+        ``observables`` selects which measurements the run records (any
+        form :func:`repro.engines.observables.canonical_observables`
+        accepts; ``None`` means the default energies + ``mode1`` set)
+        and ``phase_space`` attaches the final particle/distribution
+        state to the result.
         """
-        return self.submit_with_status(config, solver)[0]
+        return self.submit_with_status(config, solver, observables, phase_space)[0]
 
     def submit_with_status(
-        self, config: SimulationConfig, solver: "str | None" = None
+        self,
+        config: SimulationConfig,
+        solver: "str | None" = None,
+        observables: "object | None" = None,
+        phase_space: bool = False,
     ) -> "tuple[Future[SimulationResult], str]":
         """Like :meth:`submit`, also reporting how the request was met.
 
@@ -131,8 +149,13 @@ class SimulationService:
         if solver is not None and solver != config.solver:
             config = config.with_updates(solver=solver)
         solver = config.solver
-        validate_engine_config(config)  # fail fast on unservable configs
-        key = self._result_key(config, solver)
+        spec = validate_engine_config(config)  # fail fast on unservable configs
+        selection = canonical_observables(observables)
+        # Building the pipeline validates the selection against this
+        # family (unknown names/params, family-incompatible observables
+        # all fail the submit, not the engine).
+        resolve_observables(selection, spec.kind)
+        key = self._result_key(config, solver, selection, phase_space)
         # The store is thread-safe and possibly disk-backed: consult it
         # outside the service lock so a multi-ms archive read never
         # stalls other submitters or the worker.
@@ -155,7 +178,10 @@ class SimulationService:
             # if grouping raises, no requester is left holding a future
             # that nothing will ever resolve.
             self._batcher.add(
-                PendingRequest(key=key, config=config, solver=solver, future=future)
+                PendingRequest(
+                    key=key, config=config, solver=solver, future=future,
+                    observables=selection, phase_space=phase_space,
+                )
             )
             self._inflight[key] = future
             self._wake.notify()
@@ -204,7 +230,14 @@ class SimulationService:
         self.close()
 
     # -- internals -------------------------------------------------------
-    def _result_key(self, config: SimulationConfig, solver: str) -> str:
+    def _result_key(
+        self,
+        config: SimulationConfig,
+        solver: str,
+        observables: "tuple | None" = None,
+        phase_space: bool = False,
+    ) -> str:
+        fingerprint = None
         if solver == "dl":
             if self._dl_solver is None:
                 raise ValueError(
@@ -212,8 +245,11 @@ class SimulationService:
                 )
             if self._dl_fingerprint is None:
                 self._dl_fingerprint = self._dl_solver.fingerprint()
-            return result_key(config, solver, solver_fingerprint=self._dl_fingerprint)
-        return result_key(config, solver)
+            fingerprint = self._dl_fingerprint
+        return result_key(
+            config, solver, solver_fingerprint=fingerprint,
+            observables=observables, phase_space=phase_space,
+        )
 
     def _worker(self) -> None:
         while True:
@@ -241,8 +277,15 @@ class SimulationService:
         """
         configs = [request.config for request in group]
         try:
+            spec = validate_engine_config(configs[0])
+            # One engine run records one pipeline: the group shares a
+            # canonical observables selection by construction (it is
+            # part of the batcher's bucket key).
+            pipeline = Observables(
+                resolve_observables(group[0].observables, spec.kind)
+            )
             sim = make_engine(configs, dl_solver=self._dl_solver)
-            history = sim.run(configs[0].n_steps)
+            history = sim.run(configs[0].n_steps, history=pipeline)
             series = history.as_arrays()
         except Exception as exc:  # noqa: BLE001 — failures travel via futures
             with self._lock:
@@ -255,7 +298,19 @@ class SimulationService:
         with self._lock:
             self._stats["batches"] += 1
         try:
+            # Final phase-space state, captured once for the whole batch
+            # when any requester asked for it.
+            particles = getattr(sim, "particles", None)
+            v_integer = getattr(sim, "v_at_integer_time", None)
+            distribution = getattr(sim, "f", None)
             for b, request in enumerate(group):
+                final_x = final_v = final_f = None
+                if request.phase_space:
+                    if particles is not None:
+                        final_x = particles.x[b].copy()
+                        final_v = v_integer[b].copy()
+                    elif distribution is not None:
+                        final_f = distribution[b].copy()
                 result = SimulationResult(
                     key=request.key,
                     config=request.config,
@@ -265,6 +320,9 @@ class SimulationService:
                         for name, values in series.items()
                     },
                     efield=sim.efield[b].copy(),
+                    final_x=final_x,
+                    final_v=final_v,
+                    final_f=final_f,
                 )
                 try:
                     # Thread-safe store; keep the (possibly compressed-npz)

@@ -5,8 +5,9 @@ canonical :meth:`SimulationConfig.cache_key` serialization plus the
 solver family (and, for DL runs, the solver's weight fingerprint) — so
 two requests hit the same slot exactly when the engine would produce
 bitwise-identical output for both.  All registered engine families
-(``traditional``, ``dl``, ``vlasov``) share the store with the same
-guarantees.
+(``traditional``, ``dl``, ``vlasov``, ``energy``) share the store with
+the same guarantees, and the key also folds in the request's
+observables selection, dtype tier and phase-space flag.
 
 The store is a two-tier cache: an in-memory LRU of result objects, plus
 an optional on-disk directory of ``<key>.npz`` archives (written
@@ -28,19 +29,24 @@ import numpy as np
 
 from repro.config import SimulationConfig
 from repro.engines.base import available_engines
+from repro.engines.observables import canonical_observables, observables_token
 from repro.utils.io import load_npz_dict, save_npz_dict
 
 # Built-in families; the authoritative list is the engine registry
 # (available_engines()), which user-registered families join.
-SOLVER_FAMILIES = ("traditional", "dl", "vlasov")
+SOLVER_FAMILIES = ("traditional", "dl", "vlasov", "energy")
 
 _SERIES_PREFIX = "series_"
+
+_DEFAULT_OBS_TOKEN = observables_token(canonical_observables(None))
 
 
 def result_key(
     config: SimulationConfig,
     solver: str = "traditional",
     solver_fingerprint: "str | None" = None,
+    observables: "object | None" = None,
+    phase_space: bool = False,
 ) -> str:
     """Content address of a run: solver family + canonical config hash.
 
@@ -48,6 +54,15 @@ def result_key(
     must be supplied — the predicted fields depend on the weights, so
     the model identity is part of the address.  Any family known to the
     engine registry (including user-registered ones) is addressable.
+
+    The address also folds in everything else that changes a result's
+    *content*: a non-default ``observables`` selection (any form
+    :func:`repro.engines.observables.canonical_observables` accepts)
+    and the ``phase_space`` flag (final particle/distribution state
+    attached to the result).  The default selection keeps the
+    historical key, so pre-v1 stores stay valid — and the config's
+    ``dtype`` tier is already part of :meth:`SimulationConfig.cache_key`,
+    so float32 results can never answer a float64 request.
     """
     if solver not in available_engines():
         raise ValueError(
@@ -58,17 +73,27 @@ def result_key(
         if not solver_fingerprint:
             raise ValueError("DL result keys need the solver fingerprint")
         digest = hashlib.sha256(f"{digest}:{solver_fingerprint}".encode("utf-8")).hexdigest()
+    if observables is not None:
+        token = observables_token(canonical_observables(observables))
+        if token != _DEFAULT_OBS_TOKEN:
+            digest = hashlib.sha256(f"{digest}:obs={token}".encode("utf-8")).hexdigest()
+    if phase_space:
+        digest = hashlib.sha256(f"{digest}:phase-space".encode("utf-8")).hexdigest()
     return f"{solver}-{digest}"
 
 
 @dataclass
 class SimulationResult:
-    """One served run: per-step scalar series plus the final field.
+    """One served run: per-step observable series plus the final field.
 
-    ``series`` holds the :class:`~repro.pic.diagnostics.History` layout
-    (``time``, ``kinetic``, ``potential``, ``total``, ``momentum``,
-    ``mode1``; each ``(n_steps + 1,)``), bitwise identical to running
-    the config alone.  ``efield`` is the final ``(n_cells,)`` field.
+    ``series`` holds one ``(n_steps + 1, ...)`` array per selected
+    observable series plus ``time`` — for the default selection that
+    is ``time``, ``kinetic``, ``potential``, ``total``, ``momentum``
+    and ``mode1``, bitwise identical to running the config alone.
+    ``efield`` is the final ``(n_cells,)`` field; requests made with
+    ``phase_space=True`` also carry the final particle phase space
+    (``final_x``/``final_v``) or, for the Vlasov family, the final
+    distribution ``final_f``.
 
     The arrays are frozen (numpy ``writeable=False``): cache hits and
     in-flight dedup hand every requester the *same* result object, so
@@ -82,11 +107,17 @@ class SimulationResult:
     series: dict[str, np.ndarray]
     efield: np.ndarray
     from_cache: bool = field(default=False, compare=False)
+    final_x: "np.ndarray | None" = None
+    final_v: "np.ndarray | None" = None
+    final_f: "np.ndarray | None" = None
 
     def __post_init__(self) -> None:
         for values in self.series.values():
             values.setflags(write=False)
         self.efield.setflags(write=False)
+        for values in (self.final_x, self.final_v, self.final_f):
+            if values is not None:
+                values.setflags(write=False)
 
     @property
     def n_steps(self) -> int:
@@ -196,6 +227,10 @@ class ResultStore:
             "solver": result.solver,
             "efield": np.asarray(result.efield),
         }
+        for name in ("final_x", "final_v", "final_f"):
+            values = getattr(result, name)
+            if values is not None:
+                payload[name] = np.asarray(values)
         for name, values in result.series.items():
             payload[_SERIES_PREFIX + name] = np.asarray(values)
         path = self._disk_path(result.key)
@@ -220,4 +255,7 @@ class ResultStore:
             series=series,
             efield=payload["efield"],
             from_cache=True,
+            final_x=payload.get("final_x"),
+            final_v=payload.get("final_v"),
+            final_f=payload.get("final_f"),
         )

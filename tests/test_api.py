@@ -1,0 +1,344 @@
+"""Public API v1: envelope schema, Client façade, dtype tier."""
+
+import numpy as np
+import pytest
+
+from repro.api import API_VERSION, ApiError, Client, RunRequest, RunResult
+from repro.config import SimulationConfig
+from repro.engines.observables import canonical_observables
+from repro.service import read_requests
+from repro.service.store import ResultStore, result_key
+
+
+@pytest.fixture
+def config():
+    return SimulationConfig(n_cells=16, particles_per_cell=20, n_steps=4, vth=0.02)
+
+
+def small_client(**kwargs):
+    return Client(background=False, **kwargs)
+
+
+class TestRunRequestSchema:
+    def test_exact_round_trip(self, config):
+        req = RunRequest(
+            config=config, id="r-1", observables=["mode3", "energies"],
+            phase_space=True, metadata={"origin": "test", "n": 2},
+            tags=("nightly", "smoke"),
+        )
+        assert RunRequest.from_dict(req.to_dict()) == req
+
+    def test_minimal_round_trip(self, config):
+        req = RunRequest(config=config, id="x")
+        out = req.to_dict()
+        assert out["api_version"] == API_VERSION
+        assert "observables" not in out  # default selection stays implicit
+        assert RunRequest.from_dict(out) == req
+
+    def test_unknown_version_rejected(self, config):
+        with pytest.raises(ValueError, match="api_version"):
+            RunRequest.from_dict({"api_version": "v2", "config": {}})
+        with pytest.raises(ValueError, match="api_version"):
+            RunRequest(config=config, api_version="v0")
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(ValueError, match="api_version"):
+            RunRequest.from_dict({"config": {"v0": 0.2}})
+
+    def test_unknown_envelope_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown envelope key"):
+            RunRequest.from_dict(
+                {"api_version": "v1", "config": {}, "observable": ["energies"]}
+            )
+
+    def test_reserved_keys_rejected_inside_config(self):
+        for key in ("id", "api_version", "observables", "metadata", "tags"):
+            with pytest.raises(ValueError, match="reserved envelope key"):
+                RunRequest.from_dict(
+                    {"api_version": "v1", "config": {key: "x"}}
+                )
+
+    def test_unknown_observable_rejected(self, config):
+        with pytest.raises(ValueError, match="unknown observable"):
+            RunRequest(config=config, observables=["wavelets"])
+
+    def test_family_incompatible_observable_rejected(self, config):
+        with pytest.raises(ValueError, match="vlasov"):
+            RunRequest(config=config, observables=["phase_space"])
+
+    def test_observables_canonicalized(self, config):
+        a = RunRequest(config=config, id="a", observables=["mode1", "energies"])
+        b = RunRequest(config=config, id="a",
+                       observables=["energies", {"name": "mode", "mode": 1}])
+        assert a.observables == b.observables
+        assert a == b
+
+    def test_dtype_shorthand_folds_into_config(self):
+        req = RunRequest.from_dict(
+            {"api_version": "v1", "config": {"v0": 0.25}, "dtype": "float32"}
+        )
+        assert req.config.dtype == "float32"
+
+    def test_contradicting_dtype_rejected(self):
+        with pytest.raises(ValueError, match="contradicts"):
+            RunRequest.from_dict({
+                "api_version": "v1",
+                "config": {"dtype": "float64"}, "dtype": "float32",
+            })
+
+    def test_float32_unsupported_families_fail_at_construction(self, config):
+        with pytest.raises(ValueError, match="float64"):
+            RunRequest(config=config.with_updates(
+                solver="vlasov", vth=0.03, dtype="float32"))
+        with pytest.raises(ValueError, match="float64"):
+            RunRequest(config=config.with_updates(solver="energy", dtype="float32"))
+
+    def test_metadata_and_tags_validated(self, config):
+        with pytest.raises(ValueError, match="metadata"):
+            RunRequest(config=config, metadata=[1, 2])
+        with pytest.raises(ValueError, match="tags"):
+            RunRequest(config=config, tags="not-a-list")
+
+    def test_wire_path_validates_like_construction(self, config):
+        base = {"api_version": "v1", "config": {"v0": 0.2}}
+        with pytest.raises(ValueError, match="tags"):
+            RunRequest.from_dict({**base, "tags": "nightly"})
+        with pytest.raises(ValueError, match="phase_space"):
+            RunRequest.from_dict({**base, "phase_space": "false"})
+
+    def test_unhashable_observable_params_rejected(self, config):
+        with pytest.raises(ValueError, match="JSON scalar"):
+            RunRequest(config=config,
+                       observables=[{"name": "mode", "mode": [1, 2]}])
+
+
+class TestLegacyLines:
+    def test_legacy_line_parses_with_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="bare-config"):
+            reqs = read_requests(['{"v0": 0.3, "id": "legacy"}'])
+        assert isinstance(reqs[0], RunRequest)
+        assert reqs[0].id == "legacy"
+        assert reqs[0].config.v0 == 0.3
+
+    def test_v1_line_round_trips_through_jsonl(self, config):
+        import json
+
+        req = RunRequest(config=config, id="j", observables=["energies", "mode2"])
+        parsed = read_requests([json.dumps(req.to_dict())])
+        assert parsed[0] == req
+
+
+class TestResultKeys:
+    def test_float32_separates_from_float64(self, config):
+        k64 = result_key(config, "traditional")
+        k32 = result_key(config.with_updates(dtype="float32"), "traditional")
+        assert k64 != k32
+
+    def test_default_observables_keep_legacy_key(self, config):
+        bare = result_key(config, "traditional")
+        explicit = result_key(config, "traditional",
+                              observables=["energies", "mode1"])
+        assert bare == explicit
+
+    def test_non_default_observables_change_key(self, config):
+        bare = result_key(config, "traditional")
+        custom = result_key(config, "traditional", observables=["energies"])
+        assert bare != custom
+
+    def test_phase_space_changes_key(self, config):
+        assert result_key(config, "traditional") != result_key(
+            config, "traditional", phase_space=True
+        )
+
+    def test_store_separates_dtypes(self, config, tmp_path):
+        store = ResultStore(directory=tmp_path)
+        with small_client(store=store) as client:
+            r64 = client.run(RunRequest(config=config, id="a"))
+            r32 = client.run(RunRequest(
+                config=config.with_updates(dtype="float32"), id="b"))
+            assert r64.key != r32.key
+            assert (tmp_path / f"{r64.key}.npz").exists()
+            assert (tmp_path / f"{r32.key}.npz").exists()
+            # repeating either request hits its own slot
+            again64 = client.run(RunRequest(config=config, id="c"))
+            assert again64.cache_hit and again64.key == r64.key
+            np.testing.assert_array_equal(
+                np.asarray(again64.series["kinetic"]),
+                np.asarray(r64.series["kinetic"]),
+            )
+
+
+class TestClient:
+    def test_run_default_selection_matches_direct_engine(self, config):
+        from repro.engines import make_engine
+
+        with small_client() as client:
+            result = client.run(RunRequest(config=config, id="r"))
+        series = make_engine(config).run(config.n_steps).as_arrays()
+        assert result.status == "ok"
+        for name in ("time", "kinetic", "potential", "total", "momentum", "mode1"):
+            want = series[name] if name == "time" else series[name][:, 0]
+            np.testing.assert_array_equal(np.asarray(result.series[name]), want)
+
+    def test_map_preserves_order_and_dedups(self, config):
+        cfgs = [config.with_updates(seed=s) for s in (0, 1, 0)]
+        with small_client() as client:
+            results = client.map([RunRequest(config=c, id=f"r{i}")
+                                  for i, c in enumerate(cfgs)])
+        assert [r.id for r in results] == ["r0", "r1", "r2"]
+        assert results[2].key == results[0].key
+        assert results[2].submit_status in ("inflight", "cached")
+        np.testing.assert_array_equal(
+            np.asarray(results[2].series["mode1"]),
+            np.asarray(results[0].series["mode1"]),
+        )
+
+    def test_custom_observables_selection(self, config):
+        req = RunRequest(config=config, id="m",
+                         observables=["mode2", "fields", "energies"])
+        with small_client() as client:
+            result = client.run(req)
+        assert sorted(result.series) == [
+            "fields", "kinetic", "mode2", "momentum", "potential", "time", "total",
+        ]
+        assert np.asarray(result.series["fields"]).shape == (
+            config.n_steps + 1, config.n_cells
+        )
+
+    def test_phase_space_final_state(self, config):
+        with small_client() as client:
+            result = client.run(RunRequest(config=config, id="p", phase_space=True))
+        assert result.final_x.shape == (config.n_particles,)
+        assert result.final_v.shape == (config.n_particles,)
+
+    def test_energy_family_served(self, config):
+        req = RunRequest(config=config.with_updates(solver="energy"), id="e")
+        with small_client() as client:
+            result = client.run(req)
+        assert result.solver == "energy"
+        # The implicit midpoint scheme conserves energy tightly.
+        assert result.energy_variation() < 5e-3
+
+    def test_energy_family_row_matches_solo_run(self, config):
+        from repro.pic.energy_conserving import EnergyConservingPIC
+
+        cfg = config.with_updates(solver="energy")
+        with small_client() as client:
+            result = client.run(RunRequest(config=cfg, id="e"))
+        solo = EnergyConservingPIC(cfg).run(config.n_steps)
+        for name in ("kinetic", "total", "mode1"):
+            np.testing.assert_array_equal(
+                np.asarray(result.series[name]), np.asarray(solo[name])
+            )
+
+    def test_error_travels_as_error_result(self, config):
+        bad = RunRequest(config=config.with_updates(solver="dl"), id="no-model")
+        with small_client(raise_on_error=False) as client:
+            result = client.run(bad)
+        assert result.status == "error"
+        assert "dl_solver" in result.error
+        with small_client() as client:
+            with pytest.raises(ApiError, match="no-model"):
+                client.run(bad)
+
+    def test_bare_config_accepted_and_auto_named(self, config):
+        with small_client() as client:
+            result = client.run(config)
+        assert result.id.startswith("run-")
+
+    def test_timings_reported(self, config):
+        with small_client() as client:
+            result = client.run(config)
+        assert result.timings["wall_s"] >= 0.0
+
+
+class TestRunResultSchema:
+    def _result(self, config, **kwargs):
+        with small_client() as client:
+            return client.run(RunRequest(config=config, id="r", **kwargs))
+
+    def test_to_dict_schema(self, config):
+        out = self._result(config).to_dict()
+        for key in ("api_version", "id", "status", "solver", "dtype", "key",
+                    "cache_hit", "submit_status", "timings", "config", "series"):
+            assert key in out
+        assert out["status"] == "ok"
+        assert sorted(out["series"]) == [
+            "kinetic", "mode1", "momentum", "potential", "time", "total",
+        ]
+        import json
+
+        json.dumps(out)  # the whole schema is JSON-safe
+
+    def test_to_dict_without_arrays(self, config):
+        out = self._result(config).to_dict(arrays=False)
+        assert "series" not in out and "efield" not in out
+
+    def test_npz_round_trip_exact(self, config, tmp_path):
+        result = self._result(config, phase_space=True,
+                              observables=["energies", "mode1"])
+        path = tmp_path / "result.npz"
+        result.save_npz(path)
+        back = RunResult.load_npz(path)
+        assert back.id == result.id
+        assert back.key == result.key
+        assert back.status == result.status
+        assert back.cache_hit == result.cache_hit
+        assert back.config == result.config
+        assert back.observables == canonical_observables(["energies", "mode1"])
+        assert sorted(back.series) == sorted(result.series)
+        for name in result.series:
+            np.testing.assert_array_equal(
+                np.asarray(back.series[name]), np.asarray(result.series[name])
+            )
+        np.testing.assert_array_equal(back.efield, result.efield)
+        np.testing.assert_array_equal(back.final_x, result.final_x)
+        np.testing.assert_array_equal(back.final_v, result.final_v)
+
+
+class TestFloat32ParityBand:
+    """The documented regression gate for the reduced-precision tier.
+
+    Over a short two-stream run the float32 tier must track float64
+    inside the parity band (energies to ~1e-5 relative, the growing
+    ``mode1`` amplitude to 1e-2 relative) and keep the scheme's
+    conservation properties.  Long unstable runs diverge trajectory-wise
+    (the instability amplifies round-off exponentially), which is the
+    documented trade-off of the tier — not covered by the band.
+    """
+
+    STEPS = 40
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        base = SimulationConfig(
+            n_cells=64, particles_per_cell=100, n_steps=self.STEPS,
+            scenario="two_stream", seed=7,
+        )
+        with Client(background=False) as client:
+            r64 = client.run(RunRequest(config=base, id="f64"))
+            r32 = client.run(RunRequest(
+                config=base.with_updates(dtype="float32"), id="f32"))
+        return r64, r32
+
+    def test_energy_series_parity(self, pair):
+        r64, r32 = pair
+        for name in ("kinetic", "potential", "total"):
+            a = np.asarray(r64.series[name], dtype=np.float64)
+            b = np.asarray(r32.series[name], dtype=np.float64)
+            np.testing.assert_allclose(b, a, rtol=1e-5, atol=1e-8)
+
+    def test_mode1_parity(self, pair):
+        r64, r32 = pair
+        a = np.asarray(r64.series["mode1"], dtype=np.float64)
+        b = np.asarray(r32.series["mode1"], dtype=np.float64)
+        np.testing.assert_allclose(b, a, rtol=1e-2, atol=1e-7)
+
+    def test_conservation_survives_the_tier(self, pair):
+        _, r32 = pair
+        assert r32.energy_variation() < 0.05
+        assert abs(r32.momentum_drift()) < 1e-3
+
+    def test_float32_state_is_actually_float32(self, pair):
+        _, r32 = pair
+        assert np.asarray(r32.efield).dtype == np.float32

@@ -90,14 +90,15 @@ class TestHarvest:
 
     def test_targets_match_traditional_fields(self):
         """Each target is exactly the field the traditional PIC produced."""
-        from repro.pic.diagnostics import History
+        from repro.engines.observables import Observables, pic_observables
         from repro.pic.simulation import TraditionalPIC
 
         cfg = SimulationConfig(n_cells=16, particles_per_cell=20, n_steps=4, seed=3)
         data = harvest_simulation(cfg, PhaseSpaceGrid(n_x=8, n_v=4))
         sim = TraditionalPIC(cfg)
-        hist = sim.run(4, history=History(record_fields=True))
-        np.testing.assert_allclose(data.targets, np.asarray(hist.fields), atol=1e-14)
+        hist = sim.run(4, history=Observables(pic_observables(record_fields=True),
+                                              squeeze=True))
+        np.testing.assert_allclose(data.targets, hist.as_arrays()["fields"], atol=1e-14)
 
     def test_provenance_params(self):
         cfg = SimulationConfig(

@@ -205,8 +205,11 @@ class TestServeCommand:
         assert "served 3 requests" in out
         manifest = json.loads(manifest_path.read_text())
         entries = {e["id"]: e for e in manifest["requests"]}
-        assert entries["a"]["status"] == "queued"
-        assert entries["a-dup"]["status"] in ("inflight", "cached")
+        assert entries["a"]["status"] == "ok"
+        assert entries["a"]["submit_status"] == "queued"
+        assert entries["a-dup"]["status"] == "ok"
+        assert entries["a-dup"]["submit_status"] in ("inflight", "cached")
+        assert entries["a-dup"]["key"] == entries["a"]["key"]
         assert entries["a-dup"]["key"] == entries["a"]["key"]
         assert manifest["stats"]["executed_runs"] == 2
         # results are content-addressed npz files in the store directory

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
+from repro.engines.observables import Frame, Observables, pic_observables
 from repro.pic.diagnostics import (
-    History,
     field_energy,
     kinetic_energy,
     mode_amplitude,
@@ -13,6 +13,15 @@ from repro.pic.diagnostics import (
 )
 from repro.pic.grid import Grid1D
 from repro.pic.particles import ParticleSet
+
+
+def squeezed_history() -> Observables:
+    """The single-run recorder that replaced the retired ``History``."""
+    return Observables(pic_observables(), squeeze=True)
+
+
+def record(hist, step, time, grid, ps, e, v_center=None) -> None:
+    hist.record_frame(Frame(step, time, grid, e, particles=ps, v_center=v_center))
 
 
 @pytest.fixture
@@ -83,14 +92,14 @@ class TestModeAmplitude:
         assert mode_amplitude(e, mode=n // 2) == pytest.approx(0.4, rel=1e-12)
 
 
-class TestHistory:
-    def _record_n(self, hist: History, grid: Grid1D, n: int) -> None:
+class TestSqueezedObservables:
+    def _record_n(self, hist: Observables, grid: Grid1D, n: int) -> None:
         ps = ParticleSet(np.zeros(4), np.full(4, 0.1), charge=-1.0, mass=1.0)
         for i in range(n):
-            hist.record(i, 0.2 * i, grid, ps, np.sin(grid.nodes) * (1 + 0.1 * i))
+            record(hist, i, 0.2 * i, grid, ps, np.sin(grid.nodes) * (1 + 0.1 * i))
 
     def test_lengths(self, grid):
-        hist = History()
+        hist = squeezed_history()
         self._record_n(hist, grid, 5)
         assert len(hist) == 5
         arrays = hist.as_arrays()
@@ -98,49 +107,54 @@ class TestHistory:
             assert arrays[key].shape == (5,)
 
     def test_total_is_sum(self, grid):
-        hist = History()
+        hist = squeezed_history()
         self._record_n(hist, grid, 3)
         a = hist.as_arrays()
         np.testing.assert_allclose(a["total"], a["kinetic"] + a["potential"])
 
     def test_energy_variation(self, grid):
-        hist = History()
+        hist = squeezed_history()
         self._record_n(hist, grid, 4)
         a = hist.as_arrays()
         expected = np.max(np.abs(a["total"] - a["total"][0])) / a["total"][0]
         assert hist.energy_variation() == pytest.approx(expected)
 
     def test_momentum_drift(self, grid):
-        hist = History()
+        hist = squeezed_history()
         ps = ParticleSet(np.zeros(2), np.array([0.1, 0.1]), charge=-1.0, mass=1.0)
-        hist.record(0, 0.0, grid, ps, np.zeros(grid.n_cells))
+        record(hist, 0, 0.0, grid, ps, np.zeros(grid.n_cells))
         ps.v = np.array([0.2, 0.2])
-        hist.record(1, 0.2, grid, ps, np.zeros(grid.n_cells))
+        record(hist, 1, 0.2, grid, ps, np.zeros(grid.n_cells))
         assert hist.momentum_drift() == pytest.approx(0.2)
 
     def test_empty_history_raises(self):
         with pytest.raises(ValueError):
-            History().energy_variation()
+            squeezed_history().energy_variation()
         with pytest.raises(ValueError):
-            History().momentum_drift()
+            squeezed_history().momentum_drift()
 
     def test_record_fields_option(self, grid):
-        hist = History(record_fields=True)
+        hist = Observables(pic_observables(record_fields=True), squeeze=True)
         self._record_n(hist, grid, 3)
-        assert len(hist.fields) == 3
         assert hist.as_arrays()["fields"].shape == (3, grid.n_cells)
 
-    def test_snapshots_every_k(self, grid):
-        hist = History(snapshot_every=2)
-        self._record_n(hist, grid, 5)
-        # Steps 0, 2, 4 recorded.
-        assert len(hist.snapshots) == 3
-        t, x, v = hist.snapshots[1]
-        assert x.shape == v.shape
-
     def test_v_center_override_used(self, grid):
-        hist = History()
+        hist = squeezed_history()
         ps = ParticleSet(np.zeros(2), np.zeros(2), charge=-1.0, mass=1.0)
-        hist.record(0, 0.0, grid, ps, np.zeros(grid.n_cells), v_center=np.array([1.0, 1.0]))
-        assert hist.kinetic[0] == pytest.approx(1.0)
-        assert hist.momentum[0] == pytest.approx(2.0)
+        record(hist, 0, 0.0, grid, ps, np.zeros(grid.n_cells),
+               v_center=np.array([1.0, 1.0]))
+        assert hist["kinetic"][0] == pytest.approx(1.0)
+        assert hist["momentum"][0] == pytest.approx(2.0)
+
+
+class TestRetiredShims:
+    def test_history_import_raises_helpfully(self):
+        with pytest.raises(ImportError, match="Observables"):
+            from repro.pic.diagnostics import History  # noqa: F401
+
+    def test_ensemble_history_import_raises_helpfully(self):
+        with pytest.raises(ImportError, match="pic_observables"):
+            from repro.pic.diagnostics import EnsembleHistory  # noqa: F401
+
+    def test_measurement_functions_still_importable(self):
+        from repro.pic.diagnostics import kinetic_energy_rows  # noqa: F401

@@ -5,8 +5,6 @@ import pytest
 
 from repro.config import SimulationConfig
 from repro.engines import (
-    EnsembleHistory,
-    History,
     Observables,
     available_engines,
     engine_group_key,
@@ -307,34 +305,33 @@ class TestObservablesPipeline:
     def test_squeezed_recorder_rejects_batches(self, config):
         engine = make_engine([config, config.with_updates(seed=1)])
         with pytest.raises(ValueError, match="batch"):
-            engine.run(1, history=History())
+            engine.run(1, history=Observables(pic_observables(), squeeze=True))
 
 
-class TestDeprecationShims:
-    """History/EnsembleHistory stay importable and behaviorally intact."""
+class TestRetiredShims:
+    """History/EnsembleHistory are gone; the error says what to use."""
 
-    def test_imports_from_pic_diagnostics(self):
-        from repro.pic.diagnostics import EnsembleHistory as EH
-        from repro.pic.diagnostics import History as H
+    def test_history_import_raises_helpfully(self):
+        with pytest.raises(ImportError, match="Observables"):
+            from repro.pic.diagnostics import History  # noqa: F401
 
-        assert H is History and EH is EnsembleHistory
-        assert issubclass(History, Observables)
-        assert issubclass(EnsembleHistory, Observables)
+    def test_ensemble_history_import_raises_helpfully(self):
+        with pytest.raises(ImportError, match="RunResult"):
+            from repro.pic.diagnostics import EnsembleHistory  # noqa: F401
 
-    def test_history_wrapper_behavior(self, config):
+    def test_single_run_recorder_replacement(self, config):
         sim = TraditionalPIC(config)
-        hist = History(record_fields=True, snapshot_every=2)
+        hist = Observables(pic_observables(record_fields=True), squeeze=True)
         sim.run(4, history=hist)
         assert len(hist) == 5
-        assert hist.kinetic.shape == (5,)
+        assert hist["kinetic"].shape == (5,)
         assert hist.as_arrays()["fields"].shape == (5, config.n_cells)
-        assert len(hist.snapshots) == 3  # steps 0, 2, 4
         assert isinstance(hist.energy_variation(), float)
         assert isinstance(hist.momentum_drift(), float)
 
-    def test_ensemble_history_wrapper_behavior(self, config):
+    def test_batched_recorder_replacement(self, config):
         engine = make_engine([config, config.with_updates(seed=1)])
-        hist = EnsembleHistory(record_fields=True)
+        hist = Observables(pic_observables(record_fields=True))
         engine.run(3, history=hist)
         arrays = hist.as_arrays()
         assert arrays["kinetic"].shape == (4, 2)
@@ -343,18 +340,9 @@ class TestDeprecationShims:
         np.testing.assert_array_equal(member["total"], arrays["total"][:, 1])
         assert hist.energy_variation().shape == (2,)
 
-    def test_fields_attribute_always_present(self, config):
-        """The legacy dataclass exposed `fields` even without recording."""
-        hist = History()
-        TraditionalPIC(config).run(2, history=hist)
-        assert len(hist.fields) == 0
-        ens = EnsembleHistory()
-        make_engine(config).run(2, history=ens)
-        assert len(ens.fields) == 0
-
     def test_history_series_match_legacy_layout(self, config):
-        """A shim-recorded run equals the engine's own batched record."""
-        hist = History()
+        """A squeezed single-run record equals the engine's batched record."""
+        hist = Observables(pic_observables(), squeeze=True)
         TraditionalPIC(config).run(4, history=hist)
         series = make_engine(config).run(4).as_arrays()
         for name in ("time", "kinetic", "potential", "total", "momentum", "mode1"):

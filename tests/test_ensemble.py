@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.config import SimulationConfig
-from repro.pic.diagnostics import EnsembleHistory
+from repro.engines.observables import Observables, pic_observables
 from repro.pic.grid import Grid1D
 from repro.pic.interpolation import deposit, gather
 from repro.pic.poisson import PoissonSolver
@@ -163,9 +163,9 @@ class TestEnsembleRun:
 
     def test_record_fields(self, config):
         hist = EnsembleSimulation.from_config(config, batch=2).run(
-            3, history=EnsembleHistory(record_fields=True)
+            3, history=Observables(pic_observables(record_fields=True))
         )
-        assert np.asarray(hist.fields).shape == (4, 2, config.n_cells)
+        assert hist.as_arrays()["fields"].shape == (4, 2, config.n_cells)
 
     def test_negative_steps_rejected(self, config):
         with pytest.raises(ValueError):

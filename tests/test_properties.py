@@ -139,5 +139,5 @@ class TestSimulationProperties:
             n_cells=16, particles_per_cell=30, n_steps=8, vth=0.02, seed=seed
         )
         hist = TraditionalPIC(cfg).run(8)
-        mom = np.asarray(hist.momentum)
+        mom = np.asarray(hist["momentum"])
         assert np.max(np.abs(mom - mom[0])) < 1e-12

@@ -441,32 +441,51 @@ class TestVlasovService:
 
 class TestRequestParsing:
     def test_parse_request_defaults(self):
-        req = parse_request({"v0": 0.3}, index=2)
+        with pytest.warns(DeprecationWarning, match="bare-config"):
+            req = parse_request({"v0": 0.3}, index=2)
         assert req.config.v0 == 0.3
         assert req.solver == "traditional"
         assert req.id == "request-2"
 
     def test_reserved_keys_extracted(self):
-        req = parse_request({"id": "x", "solver": "dl", "seed": 7})
+        with pytest.warns(DeprecationWarning):
+            req = parse_request({"id": "x", "solver": "dl", "seed": 7})
         assert (req.id, req.solver, req.config.seed) == ("x", "dl", 7)
 
+    def test_v1_envelope_parses_without_warning(self, recwarn):
+        req = parse_request({
+            "api_version": "v1", "id": "x",
+            "config": {"solver": "dl", "seed": 7},
+        })
+        assert (req.id, req.solver, req.config.seed) == ("x", "dl", 7)
+        assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]
+
+    def test_envelope_keys_rejected_on_bare_lines(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="reserved for the v1"):
+                parse_request({"v0": 0.3, "observables": ["energies"]})
+
     def test_unknown_config_key_rejected(self):
-        with pytest.raises(ValueError, match="nsteps"):
-            parse_request({"nsteps": 3})
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="nsteps"):
+                parse_request({"nsteps": 3})
 
     def test_unknown_solver_rejected(self):
-        with pytest.raises(ValueError, match="solver"):
-            parse_request({"solver": "quantum"})
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="solver"):
+                parse_request({"solver": "quantum"})
 
     def test_solver_is_a_config_field(self):
-        req = parse_request({"solver": "vlasov", "vth": 0.03, "extra": {"n_v": 32}})
+        with pytest.warns(DeprecationWarning):
+            req = parse_request({"solver": "vlasov", "vth": 0.03, "extra": {"n_v": 32}})
         assert req.solver == "vlasov"
         assert req.config.solver == "vlasov"
         assert req.config.extra == {"n_v": 32}
 
     def test_cold_vlasov_request_fails_the_parse(self):
-        with pytest.raises(ValueError, match="vth > 0"):
-            parse_request({"solver": "vlasov", "vth": 0.0})
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="vth > 0"):
+                parse_request({"solver": "vlasov", "vth": 0.0})
 
     def test_read_requests_skips_blanks_and_comments(self):
         lines = ["", "# header", '{"seed": 1}', "   ", '{"seed": 2}']

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.config import SimulationConfig
-from repro.pic.diagnostics import History
+from repro.engines.observables import Observables, pic_observables
 from repro.pic.simulation import ChargeDepositionFieldSolver, PICSimulation, TraditionalPIC
 
 
@@ -54,8 +54,8 @@ class TestStepping:
         sim = TraditionalPIC(config)
         hist = sim.run(5)
         assert len(hist) == 6
-        assert hist.time[0] == 0.0
-        assert hist.time[-1] == pytest.approx(5 * config.dt)
+        assert hist["time"][0] == 0.0
+        assert hist["time"][-1] == pytest.approx(5 * config.dt)
 
     def test_run_zero_steps(self, config):
         hist = TraditionalPIC(config).run(0)
@@ -83,10 +83,10 @@ class TestStepping:
 
     def test_custom_history_object_used(self, config):
         sim = TraditionalPIC(config)
-        hist = History(record_fields=True)
+        hist = Observables(pic_observables(record_fields=True), squeeze=True)
         out = sim.run(3, history=hist)
         assert out is hist
-        assert len(hist.fields) == 4
+        assert hist.as_arrays()["fields"].shape == (4, config.n_cells)
 
 
 class TestConservation:
@@ -96,7 +96,7 @@ class TestConservation:
             interpolation="cic", seed=1,
         )
         hist = TraditionalPIC(cfg).run(20)
-        mom = np.asarray(hist.momentum)
+        mom = np.asarray(hist["momentum"])
         assert np.max(np.abs(mom - mom[0])) < 1e-12
 
     def test_energy_bounded_during_instability(self):
@@ -114,7 +114,7 @@ class TestConservation:
         cfg = SimulationConfig(n_cells=64, particles_per_cell=300, v0=0.2, vth=0.025, seed=3)
         hist = TraditionalPIC(cfg).run(0)
         expected = 0.5 * cfg.box_length * (cfg.v0**2 + cfg.vth**2)
-        assert hist.kinetic[0] == pytest.approx(expected, rel=0.02)
+        assert hist["kinetic"][0] == pytest.approx(expected, rel=0.02)
 
 
 class TestAccessors:
