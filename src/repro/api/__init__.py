@@ -14,24 +14,36 @@ from repro.api.client import Client
 from repro.api.envelope import (
     API_VERSION,
     ENVELOPE_KEYS,
+    FAILURE_STATUSES,
     RESERVED_CONFIG_KEYS,
+    RESULT_STATUSES,
     STATUS_ERROR,
     STATUS_OK,
+    STATUS_SHED,
+    STATUS_TIMEOUT,
     SUPPORTED_VERSIONS,
     ApiError,
     RunRequest,
     RunResult,
 )
+from repro.api.transport import HttpTransport, InProcessTransport, Transport
 
 __all__ = [
     "API_VERSION",
     "ENVELOPE_KEYS",
+    "FAILURE_STATUSES",
     "RESERVED_CONFIG_KEYS",
+    "RESULT_STATUSES",
     "STATUS_ERROR",
     "STATUS_OK",
+    "STATUS_SHED",
+    "STATUS_TIMEOUT",
     "SUPPORTED_VERSIONS",
     "ApiError",
     "Client",
+    "HttpTransport",
+    "InProcessTransport",
     "RunRequest",
     "RunResult",
+    "Transport",
 ]

@@ -3,17 +3,22 @@
 A :class:`Client` accepts :class:`~repro.api.envelope.RunRequest`
 objects (or bare :class:`~repro.config.SimulationConfig`, wrapped with
 envelope defaults), routes them through a
-:class:`~repro.service.service.SimulationService` and returns
+:class:`~repro.api.transport.Transport` and returns
 :class:`~repro.api.envelope.RunResult` futures — status, timings,
 store key, cache-hit flag and the selected observable arrays.
 
-The client is transport-shaped: today the only transport is the
-in-process service (owned by the client, or shared by passing
-``service=``), but every consumer speaks ``submit()`` / ``run()`` /
-``map()``, so a remote transport can slot in behind the same façade
-without touching call sites.
+The client is transport-generic:
 
-Two execution modes:
+* the default transport is an in-process
+  :class:`~repro.service.service.SimulationService` (owned by the
+  client, or shared by passing ``service=``) — the exact pre-transport
+  behavior, bit for bit;
+* :meth:`Client.connect` (or ``transport=HttpTransport(url)``) speaks
+  the same v1 envelope to a ``repro serve --listen`` server over HTTP
+  (:mod:`repro.server`), with remote results bitwise identical to
+  in-process ones.
+
+Two in-process execution modes:
 
 * ``background=True`` (default) — the service runs its worker thread;
   futures resolve as micro-batches flush.
@@ -28,12 +33,13 @@ from __future__ import annotations
 from concurrent.futures import Future
 from typing import TYPE_CHECKING, Iterable, Sequence
 
-from repro.api.envelope import RunRequest, RunResult, now
+from repro.api.envelope import RunRequest, RunResult
+from repro.api.transport import HttpTransport, InProcessTransport, Transport
 from repro.config import SimulationConfig
 
 if TYPE_CHECKING:
     from repro.dlpic.solver import DLFieldSolver
-    from repro.service.store import ResultStore, SimulationResult
+    from repro.service.store import ResultStore
 
 
 class Client:
@@ -44,23 +50,30 @@ class Client:
     service:
         An existing :class:`SimulationService` to speak to.  By default
         the client constructs (and owns, and closes) its own.
+    transport:
+        An explicit :class:`~repro.api.transport.Transport` to route
+        requests through instead — mutually exclusive with ``service=``
+        and the owned-service kwargs.  The client closes it.
     max_batch_size, max_wait, store, dl_solver:
-        Forwarded to the owned service (ignored when ``service=`` is
-        passed).
+        Forwarded to the owned service (ignored when ``service=`` or
+        ``transport=`` is passed).
     background:
         Service execution mode — see the module docstring.
     raise_on_error:
         With ``True`` (default) :meth:`run` and :meth:`map` raise
-        :class:`~repro.api.envelope.ApiError` on failed requests; with
-        ``False`` they return error-status results instead.  Futures
-        from :meth:`submit` always resolve to a :class:`RunResult`
-        (never raise) so one bad request cannot break a gather.
+        :class:`~repro.api.envelope.ApiError` on failed requests
+        (any terminal status: ``error``, ``shed``, ``timeout``); with
+        ``False`` they return the failure-status results instead.
+        Futures from :meth:`submit` always resolve to a
+        :class:`RunResult` (never raise) so one bad request cannot
+        break a gather.
     """
 
     def __init__(
         self,
         service: "object | None" = None,
         *,
+        transport: "Transport | None" = None,
         max_batch_size: int = 16,
         max_wait: float = 0.02,
         store: "ResultStore | None" = None,
@@ -68,22 +81,59 @@ class Client:
         background: bool = True,
         raise_on_error: bool = True,
     ) -> None:
-        from repro.service.service import SimulationService
-
-        if service is None:
-            service = SimulationService(
-                max_batch_size=max_batch_size,
-                max_wait=max_wait,
-                store=store,
-                dl_solver=dl_solver,
-                start=background,
-            )
-            self._owns_service = True
+        if transport is not None:
+            if service is not None:
+                raise ValueError("pass either service= or transport=, not both")
+            self.transport = transport
+        elif service is not None:
+            self.transport = InProcessTransport(service, owns_service=False)
         else:
-            self._owns_service = False
-        self.service = service
+            from repro.service.service import SimulationService
+
+            self.transport = InProcessTransport(
+                SimulationService(
+                    max_batch_size=max_batch_size,
+                    max_wait=max_wait,
+                    store=store,
+                    dl_solver=dl_solver,
+                    start=background,
+                ),
+                owns_service=True,
+            )
         self.raise_on_error = raise_on_error
         self._auto_id = 0
+
+    @classmethod
+    def connect(
+        cls,
+        url: str,
+        *,
+        max_connections: int = 16,
+        timeout: "float | None" = None,
+        raise_on_error: bool = True,
+    ) -> "Client":
+        """A client speaking to a ``repro serve --listen`` server.
+
+        ``url`` is the server base URL (``"http://host:port"``);
+        ``max_connections`` bounds the concurrent persistent
+        connections the underlying :class:`HttpTransport` opens.
+        """
+        return cls(
+            transport=HttpTransport(
+                url, max_connections=max_connections, timeout=timeout
+            ),
+            raise_on_error=raise_on_error,
+        )
+
+    @property
+    def service(self) -> object:
+        """The in-process service behind this client, if there is one."""
+        service = getattr(self.transport, "service", None)
+        if service is None:
+            raise AttributeError(
+                f"a {type(self.transport).__name__} client has no in-process service"
+            )
+        return service
 
     # -- request intake ---------------------------------------------------
     def _as_request(self, request: "RunRequest | SimulationConfig") -> RunRequest:
@@ -107,42 +157,15 @@ class Client:
         """File one request; the future resolves to a :class:`RunResult`.
 
         The returned future never raises: execution errors come back as
-        ``status="error"`` results carrying the message.
+        ``status="error"`` results carrying the message (a networked
+        transport adds ``shed`` and ``timeout`` terminal statuses).
         """
-        request = self._as_request(request)
-        submitted = now()
-        outer: "Future[RunResult]" = Future()
-        try:
-            inner, status = self.service.submit_with_status(
-                request.config,
-                observables=request.observables,
-                phase_space=request.phase_space,
-            )
-        except (ValueError, RuntimeError) as exc:
-            # Submit-time rejections (unservable config, closed service)
-            # ride the same error-result path as execution failures, so
-            # one bad request in a map() cannot break the gather.
-            outer.set_result(RunResult.from_error(request, exc, wall_s=now() - submitted))
-            return outer
-
-        def _convert(done: "Future[SimulationResult]") -> None:
-            wall = now() - submitted
-            try:
-                served = done.result()
-            except BaseException as exc:  # noqa: BLE001 — travels in the result
-                outer.set_result(RunResult.from_error(request, exc, status, wall))
-            else:
-                outer.set_result(
-                    RunResult.from_service(request, served, status, wall)
-                )
-
-        inner.add_done_callback(_convert)
-        return outer
+        return self.transport.submit(self._as_request(request))
 
     def run(self, request: "RunRequest | SimulationConfig") -> RunResult:
         """Submit one request and wait for its result."""
         future = self.submit(request)
-        self._drain()
+        self.transport.drain()
         result = future.result()
         if self.raise_on_error:
             result.raise_for_status()
@@ -153,7 +176,7 @@ class Client:
     ) -> "list[RunResult]":
         """Submit many requests, wait for all, preserve order."""
         futures = [self.submit(request) for request in requests]
-        self._drain()
+        self.transport.drain()
         results = [future.result() for future in futures]
         if self.raise_on_error:
             for result in results:
@@ -167,25 +190,18 @@ class Client:
         return [self.submit(request) for request in requests]
 
     def flush(self) -> None:
-        """Execute everything pending now, on the calling thread."""
-        self.service.flush()
+        """Execute everything pending now (in-process transports)."""
+        self.transport.flush()
 
     @property
-    def stats(self) -> "dict[str, int]":
-        """The underlying service's counters snapshot."""
-        return self.service.stats
+    def stats(self) -> "dict[str, object]":
+        """The serving side's counters snapshot."""
+        return self.transport.stats
 
     # -- lifecycle --------------------------------------------------------
-    def _drain(self) -> None:
-        # A synchronous (thread-free) service only executes on flush;
-        # a background service resolves futures on its own.
-        if getattr(self.service, "_thread", None) is None:
-            self.service.flush()
-
     def close(self) -> None:
-        """Close the owned service (a shared one is left running)."""
-        if self._owns_service:
-            self.service.close()
+        """Close the transport (an owned service is closed with it)."""
+        self.transport.close()
 
     def __enter__(self) -> "Client":
         return self

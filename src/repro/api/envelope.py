@@ -68,9 +68,26 @@ ENVELOPE_KEYS = (
 )
 RESERVED_CONFIG_KEYS = tuple(k for k in ENVELOPE_KEYS if k != "dtype")
 
-#: Result status values.
+#: Result status values.  ``ok`` is the only success; the three
+#: terminal failure statuses distinguish *why* a request died: an
+#: execution/submit failure (``error``), load-shedding by an overloaded
+#: server's admission queue (``shed``, HTTP 503) or a per-request
+#: execution deadline expiring (``timeout``, HTTP 504).
 STATUS_OK = "ok"
 STATUS_ERROR = "error"
+STATUS_SHED = "shed"
+STATUS_TIMEOUT = "timeout"
+RESULT_STATUSES = (STATUS_OK, STATUS_ERROR, STATUS_SHED, STATUS_TIMEOUT)
+#: Non-ok terminal statuses; all carry an ``error`` message.
+FAILURE_STATUSES = (STATUS_ERROR, STATUS_SHED, STATUS_TIMEOUT)
+
+#: Keys a ``RunResult.to_dict`` envelope may carry (strictly checked by
+#: :meth:`RunResult.from_dict`, like the request side).
+RESULT_KEYS = (
+    "api_version", "id", "status", "solver", "dtype", "key", "cache_hit",
+    "submit_status", "timings", "config", "observables", "metadata", "tags",
+    "error", "series", "efield", "final_x", "final_v", "final_f", "dtypes",
+)
 
 
 def _check_api_version(version: object) -> str:
@@ -297,12 +314,13 @@ class RunResult:
 
     def __post_init__(self) -> None:
         _check_api_version(self.api_version)
-        if self.status not in (STATUS_OK, STATUS_ERROR):
+        if self.status not in RESULT_STATUSES:
             raise ValueError(
-                f"status must be {STATUS_OK!r} or {STATUS_ERROR!r}, got {self.status!r}"
+                f"unknown result status {self.status!r}; valid statuses: "
+                f"{', '.join(RESULT_STATUSES)}"
             )
-        if self.status == STATUS_ERROR and not self.error:
-            raise ValueError("error results need an error message")
+        if self.status in FAILURE_STATUSES and not self.error:
+            raise ValueError(f"{self.status} results need an error message")
 
     @property
     def ok(self) -> bool:
@@ -316,9 +334,19 @@ class RunResult:
         return len(self.series["time"]) - 1
 
     def raise_for_status(self) -> "RunResult":
-        """Raise :class:`ApiError` if this result carries an error."""
+        """Raise :class:`ApiError` if this result carries a failure.
+
+        Every non-``ok`` terminal status raises — ``error``, ``shed``
+        (server load-shedding) and ``timeout`` (execution deadline) —
+        with the status named in the message and the full result
+        attached as :attr:`ApiError.result`.
+        """
         if not self.ok:
-            raise ApiError(f"request {self.id!r} failed: {self.error}")
+            raise ApiError(
+                f"request {self.id!r} failed with status {self.status!r}: "
+                f"{self.error}",
+                result=self,
+            )
         return self
 
     # -- derived summaries (served series) -------------------------------
@@ -376,7 +404,85 @@ class RunResult:
                 values = getattr(self, name)
                 if values is not None:
                     out[name] = np.asarray(values).tolist()
+            # Array dtypes ride along so the wire round trip is exact:
+            # JSON floats restore float64 bit for bit (repr round trip)
+            # and narrower tiers (float32 series) re-cast losslessly.
+            dtypes: dict[str, Any] = {
+                "series": {
+                    name: str(np.asarray(values).dtype)
+                    for name, values in self.series.items()
+                }
+            }
+            for name in ("efield", "final_x", "final_v", "final_f"):
+                values = getattr(self, name)
+                if values is not None:
+                    dtypes[name] = str(np.asarray(values).dtype)
+            out["dtypes"] = dtypes
         return out
+
+    @classmethod
+    def from_dict(cls, obj: Mapping[str, Any]) -> "RunResult":
+        """Parse a :meth:`to_dict` result envelope (exact round trip).
+
+        The strict mirror of the request-side parser: unknown envelope
+        keys, unknown api versions and unknown ``status`` values are
+        all rejected with specific errors, and arrays are rebuilt with
+        their recorded dtypes so a JSON round trip is bitwise exact.
+        """
+        if not isinstance(obj, Mapping):
+            raise ValueError(
+                f"result envelope must be a JSON object, got {type(obj).__name__}"
+            )
+        unknown = sorted(set(obj) - set(RESULT_KEYS))
+        if unknown:
+            raise ValueError(
+                f"unknown result key(s) {', '.join(map(repr, unknown))}; "
+                f"valid keys: {', '.join(RESULT_KEYS)}"
+            )
+        _check_api_version(obj.get("api_version"))
+        status = obj.get("status")
+        if status not in RESULT_STATUSES:
+            raise ValueError(
+                f"unknown result status {status!r}; valid statuses: "
+                f"{', '.join(RESULT_STATUSES)}"
+            )
+        dtypes = obj.get("dtypes", {})
+        series_dtypes = dtypes.get("series", {})
+        series = {
+            name: np.array(values, dtype=series_dtypes.get(name, "float64"))
+            for name, values in obj.get("series", {}).items()
+        }
+        arrays = {}
+        for name in ("efield", "final_x", "final_v", "final_f"):
+            values = obj.get(name)
+            arrays[name] = (
+                None if values is None
+                else np.array(values, dtype=dtypes.get(name, "float64"))
+            )
+        config = obj.get("config")
+        observables = obj.get("observables")
+        return cls(
+            id=str(obj.get("id", "")),
+            status=status,
+            solver=obj.get("solver", "traditional"),
+            config=SimulationConfig.from_dict(config) if config is not None else None,
+            observables=(
+                canonical_observables(observables) if observables is not None else None
+            ),
+            series=series,
+            efield=arrays["efield"],
+            final_x=arrays["final_x"],
+            final_v=arrays["final_v"],
+            final_f=arrays["final_f"],
+            key=obj.get("key"),
+            cache_hit=bool(obj.get("cache_hit", False)),
+            submit_status=obj.get("submit_status", ""),
+            timings=dict(obj.get("timings", {})),
+            metadata=dict(obj.get("metadata", {})),
+            tags=tuple(obj.get("tags", ())),
+            error=obj.get("error"),
+            api_version=obj["api_version"],
+        )
 
     def save_npz(self, path: "str | Any") -> None:
         """Write the exact result (raw array bytes) to a ``.npz``."""
@@ -491,9 +597,44 @@ class RunResult:
             error=f"{type(exc).__name__}: {exc}",
         )
 
+    @classmethod
+    def from_failure(
+        cls,
+        request: RunRequest,
+        status: str,
+        message: str,
+        wall_s: "float | None" = None,
+    ) -> "RunResult":
+        """A terminal failure result (``shed`` / ``timeout`` / ``error``)."""
+        return cls(
+            id=request.id,
+            status=status,
+            solver=request.solver,
+            config=request.config,
+            observables=request.observables,
+            timings={"wall_s": wall_s} if wall_s is not None else {},
+            metadata=dict(request.metadata),
+            tags=request.tags,
+            error=message,
+        )
+
 
 class ApiError(RuntimeError):
-    """A request failed and the caller asked for exceptions."""
+    """A request failed and the caller asked for exceptions.
+
+    Carries the failed :class:`RunResult` as :attr:`result` (when one
+    exists), so callers can branch on the terminal :attr:`status` —
+    ``error``, ``shed`` or ``timeout`` — without parsing the message.
+    """
+
+    def __init__(self, message: str, result: "RunResult | None" = None) -> None:
+        super().__init__(message)
+        self.result = result
+
+    @property
+    def status(self) -> "str | None":
+        """The failed result's terminal status, if a result is attached."""
+        return self.result.status if self.result is not None else None
 
 
 def now() -> float:

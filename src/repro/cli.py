@@ -92,18 +92,23 @@ def _add_sweep(sub: "argparse._SubParsersAction") -> None:
 def _add_serve(sub: "argparse._SubParsersAction") -> None:
     p = sub.add_parser(
         "serve",
-        help="drain a JSONL request stream through the micro-batching simulation service",
+        help="serve API v1 requests: drain a JSONL stream, or listen on HTTP",
         description=(
-            "Read one API v1 request envelope per line ({'api_version': 'v1', "
-            "'id': ..., 'config': {...}, 'observables': [...], 'dtype': ...}; "
-            "legacy bare-config lines still parse with a deprecation warning), "
-            "coalesce compatible requests into batched ensemble executions, dedup "
-            "repeats against the content-addressed result store, and write "
-            "per-request results + a manifest."
+            "Serve API v1 request envelopes ({'api_version': 'v1', 'id': ..., "
+            "'config': {...}, 'observables': [...], 'dtype': ...}) through the "
+            "micro-batching simulation service.  Default mode drains a JSONL "
+            "file/stdin and exits; with --listen HOST:PORT the service stays up "
+            "behind an HTTP server (POST /v1/run, POST /v1/batch, GET /v1/health, "
+            "GET /v1/metrics) with bounded admission + load-shedding, per-request "
+            "execution timeouts, connection limits and graceful drain on "
+            "SIGTERM/SIGINT."
         ),
     )
     p.add_argument("--requests", default="-",
-                   help="JSONL request file, or '-' for stdin (default)")
+                   help="JSONL request file, or '-' for stdin (default; drain mode)")
+    p.add_argument("--listen", default=None, metavar="HOST:PORT",
+                   help="listen mode: serve the v1 HTTP endpoints on this address "
+                        "(PORT 0 picks a free port) instead of draining --requests")
     p.add_argument("--store", default=None,
                    help="directory for the on-disk result store (<key>.npz per run)")
     p.add_argument("--manifest", default=None,
@@ -116,6 +121,14 @@ def _add_serve(sub: "argparse._SubParsersAction") -> None:
                    help="in-memory LRU slots of the result store")
     p.add_argument("--model-dir", default=None,
                    help="DLFieldSolver.save directory backing requests with solver=dl")
+    p.add_argument("--max-pending", type=int, default=256,
+                   help="listen mode: admitted-but-unresolved request bound; past it "
+                        "requests are shed with HTTP 503 (status 'shed')")
+    p.add_argument("--request-timeout", type=float, default=None,
+                   help="listen mode: per-request execution deadline in seconds; an "
+                        "expired request answers HTTP 504 (status 'timeout')")
+    p.add_argument("--max-connections", type=int, default=128,
+                   help="listen mode: concurrent-connection bound (excess get 503)")
 
 
 def _add_scenarios(sub: "argparse._SubParsersAction") -> None:
@@ -288,6 +301,60 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Shared header of the per-request result tables: drain mode and
+#: listen mode print the same columns.
+_SERVE_HEADER = (f"{'id':>16} {'scenario':>20} {'solver':>12} {'status':>9} "
+                 f"{'max E1':>10} {'dE/E':>8} {'wall ms':>9}")
+
+
+def _serve_row(request, result) -> "tuple[str, dict]":
+    """One per-request table row + its manifest summary scalars.
+
+    The wall-clock column comes from the result's own ``timings``
+    (submit-to-resolution as observed by the serving side), so drain
+    mode and listen mode report identical per-request numbers instead
+    of one aggregate elapsed split evenly.
+    """
+    entry = result.to_dict(arrays=False)
+    scenario = request.config.scenario if request is not None else "-"
+    solver = result.solver if request is not None else "-"
+    entry["scenario"] = scenario
+    entry.pop("config", None)  # the request stream already has it
+    wall_s = result.timings.get("wall_s")
+    wall_col = f"{wall_s * 1e3:>9.1f}" if wall_s is not None else f"{'-':>9}"
+    if not result.ok:
+        row = (f"{result.id:>16} {scenario:>20} {solver:>12} "
+               f"{result.status.upper():>9} {'-':>10} {'-':>8} {wall_col}  "
+               f"{result.error}")
+        return row, entry
+    mode1_col = f"{'-':>10}"
+    energy_col = f"{'-':>8}"
+    # The summary columns exist only when the request's observables
+    # selection recorded them.
+    if "mode1" in result.series:
+        max_mode1 = float(np.asarray(result.series["mode1"]).max())
+        entry["max_mode1"] = max_mode1
+        mode1_col = f"{max_mode1:>10.2e}"
+    if "total" in result.series:
+        energy_var = result.energy_variation()
+        entry["energy_variation"] = energy_var
+        energy_col = f"{energy_var:>8.2%}"
+    status = result.submit_status or result.status
+    row = (f"{result.id:>16} {scenario:>20} {solver:>12} "
+           f"{status:>9} {mode1_col} {energy_col} {wall_col}")
+    return row, entry
+
+
+def _load_dl_solver(model_dir: str):
+    """Load a DLFieldSolver for serve modes; (solver, error_message)."""
+    from repro.dlpic import DLFieldSolver
+
+    try:
+        return DLFieldSolver.load_auto(model_dir), None
+    except (OSError, KeyError, ValueError, json.JSONDecodeError) as exc:
+        return None, f"cannot load a DL solver from {model_dir!r}: {exc}"
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import os.path
     import time
@@ -295,6 +362,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.api import Client
     from repro.service import ResultStore, read_requests
 
+    if args.listen is not None:
+        return _cmd_serve_listen(args)
     if args.requests == "-":
         lines = sys.stdin.read().splitlines()
     else:
@@ -321,13 +390,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.model_dir is None:
             print("error: requests with solver=dl need --model-dir", file=sys.stderr)
             return 2
-        from repro.dlpic import DLFieldSolver
-
-        try:
-            dl_solver = DLFieldSolver.load_auto(args.model_dir)
-        except (OSError, KeyError, ValueError, json.JSONDecodeError) as exc:
-            print(f"error: cannot load a DL solver from {args.model_dir!r}: {exc}",
-                  file=sys.stderr)
+        dl_solver, error = _load_dl_solver(args.model_dir)
+        if error:
+            print(f"error: {error}", file=sys.stderr)
             return 2
     store = ResultStore(capacity=args.capacity, directory=args.store)
     start = time.perf_counter()
@@ -344,38 +409,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     elapsed = time.perf_counter() - start
     entries = []
     n_failed = 0
-    print(f"{'id':>16} {'scenario':>20} {'solver':>12} {'status':>9} "
-          f"{'max E1':>10} {'dE/E':>8}")
+    print(_SERVE_HEADER)
     for req, result in zip(requests, results):
-        entry = result.to_dict(arrays=False)
-        entry["scenario"] = req.config.scenario
+        row, entry = _serve_row(req, result)
         entry["n_steps"] = req.config.n_steps
-        entry.pop("config", None)  # the request stream already has it
         if not result.ok:
             n_failed += 1
-            print(f"{req.id:>16} {req.config.scenario:>20} {req.solver:>12} "
-                  f"{'ERROR':>9}  {result.error}")
-        else:
-            # Record the archive only if the write-through actually
-            # landed (a full disk degrades the store to a cache
-            # miss, not a lying manifest).
-            if args.store and os.path.exists(
-                os.path.join(args.store, f"{result.key}.npz")
-            ):
-                entry["file"] = f"{result.key}.npz"
-            # The summary columns exist only when the request's
-            # observables selection recorded them.
-            mode1_col = energy_col = f"{'-':>8}"
-            if "mode1" in result.series:
-                max_mode1 = float(np.asarray(result.series["mode1"]).max())
-                entry["max_mode1"] = max_mode1
-                mode1_col = f"{max_mode1:>10.2e}"
-            if "total" in result.series:
-                energy_var = result.energy_variation()
-                entry["energy_variation"] = energy_var
-                energy_col = f"{energy_var:>8.2%}"
-            print(f"{req.id:>16} {req.config.scenario:>20} {req.solver:>12} "
-                  f"{result.submit_status:>9} {mode1_col} {energy_col}")
+        # Record the archive only if the write-through actually
+        # landed (a full disk degrades the store to a cache
+        # miss, not a lying manifest).
+        elif args.store and os.path.exists(
+            os.path.join(args.store, f"{result.key}.npz")
+        ):
+            entry["file"] = f"{result.key}.npz"
+        print(row)
         entries.append(entry)
     print(f"served {len(requests)} requests in {elapsed * 1e3:.0f} ms "
           f"({len(requests) / elapsed:.1f} req/s): "
@@ -395,6 +442,75 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             json.dump(manifest, fh, indent=2)
         print(f"manifest saved to {args.manifest}")
     return 1 if n_failed else 0
+
+
+def _parse_listen_address(text: str) -> "tuple[str, int]":
+    """Split a ``HOST:PORT`` listen address (raises ValueError)."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"--listen takes HOST:PORT (e.g. 127.0.0.1:8787), got {text!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"--listen port must be an integer, got {port_text!r}") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"--listen port must be in [0, 65535], got {port}")
+    return host, port
+
+
+def _cmd_serve_listen(args: argparse.Namespace) -> int:
+    from repro.server import SimulationServer
+    from repro.service import ResultStore
+
+    try:
+        host, port = _parse_listen_address(args.listen)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    dl_solver = None
+    if args.model_dir is not None:
+        dl_solver, error = _load_dl_solver(args.model_dir)
+        if error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    store = ResultStore(capacity=args.capacity, directory=args.store)
+
+    def on_ready(server: "SimulationServer") -> None:
+        timeout = (f"{args.request_timeout:g}s" if args.request_timeout is not None
+                   else "none")
+        print(f"listening on {server.url}  "
+              f"(POST /v1/run, POST /v1/batch, GET /v1/health, GET /v1/metrics)")
+        print(f"max_batch={args.max_batch} max_wait={args.max_wait:g}s "
+              f"max_pending={args.max_pending} request_timeout={timeout} "
+              f"max_connections={args.max_connections}")
+        print(_SERVE_HEADER, flush=True)
+
+    def on_result(request, result) -> None:
+        row, _ = _serve_row(request, result)
+        print(row, flush=True)
+
+    server = SimulationServer(
+        host=host, port=port,
+        max_pending=args.max_pending,
+        request_timeout=args.request_timeout,
+        max_connections=args.max_connections,
+        max_batch_size=args.max_batch, max_wait=args.max_wait,
+        store=store, dl_solver=dl_solver,
+        on_result=on_result, on_ready=on_ready,
+    )
+    try:
+        server.run()
+    except OSError as exc:  # e.g. address already in use
+        print(f"error: cannot listen on {args.listen!r}: {exc}", file=sys.stderr)
+        return 2
+    stats = server.service.stats
+    print(f"drained: served {server.metrics.requests_total} requests "
+          f"({stats['batches']} engine batches, {stats['executed_runs']} runs "
+          f"executed, {stats['cache_hits']} store hits, "
+          f"{stats['dedup_hits']} in-flight dedups)")
+    return 0
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:

@@ -1,0 +1,167 @@
+"""Minimal asyncio HTTP/1.1 framing for the simulation server.
+
+Stdlib-only request/response plumbing: just enough HTTP for the v1
+JSON endpoints — request line + headers + ``Content-Length`` bodies in,
+fixed-length JSON responses out, with keep-alive connections (HTTP/1.1
+default) so a closed-loop client pays one TCP handshake per
+connection, not per request.  Chunked transfer encoding is not
+supported (a request using it is rejected with 411).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.parse
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+#: Hard caps keeping one malformed/hostile connection from exhausting
+#: the process: header section and body sizes, header count.
+MAX_LINE_BYTES = 64 * 1024
+MAX_HEADERS = 100
+MAX_BODY_BYTES = 128 * 1024 * 1024
+
+STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class BadRequest(ValueError):
+    """The connection sent something that is not a parseable request."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split target, headers, raw body."""
+
+    method: str
+    path: str
+    query: "dict[str, list[str]]"
+    headers: "dict[str, str]"  # header names lowercased
+    body: bytes
+    version: str = "HTTP/1.1"
+
+    @property
+    def keep_alive(self) -> bool:
+        """HTTP/1.1 defaults to persistent connections."""
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    def json(self) -> Any:
+        """Decode the body as JSON (raises ``ValueError`` on garbage)."""
+        try:
+            return json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from None
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        return await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError):
+        raise BadRequest("header line too long", status=431) from None
+
+
+async def read_request(reader: asyncio.StreamReader) -> "HttpRequest | None":
+    """Read one request off the stream.
+
+    Returns ``None`` on a clean EOF before any byte (the peer closed a
+    kept-alive connection); raises :class:`BadRequest` on malformed
+    input and ``asyncio.IncompleteReadError`` on a mid-request EOF.
+    """
+    line = await _read_line(reader)
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise BadRequest(f"malformed request line {line!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise BadRequest(f"unsupported protocol version {version!r}")
+
+    headers: "dict[str, str]" = {}
+    while True:
+        line = await _read_line(reader)
+        if not line:
+            raise BadRequest("connection closed inside the header section")
+        if line in (b"\r\n", b"\n"):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+        if len(headers) > MAX_HEADERS:
+            raise BadRequest("too many headers", status=431)
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise BadRequest("chunked transfer encoding is not supported", status=411)
+    raw_length = headers.get("content-length", "0")
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise BadRequest(f"malformed Content-Length {raw_length!r}") from None
+    if length < 0:
+        raise BadRequest(f"negative Content-Length {length}")
+    if length > MAX_BODY_BYTES:
+        raise BadRequest(f"body of {length} bytes exceeds the limit", status=413)
+    body = await reader.readexactly(length) if length else b""
+
+    path, _, query_text = target.partition("?")
+    return HttpRequest(
+        method=method.upper(),
+        path=urllib.parse.unquote(path),
+        query=urllib.parse.parse_qs(query_text),
+        headers=headers,
+        body=body,
+        version=version,
+    )
+
+
+def response_bytes(
+    status: int,
+    body: "bytes | str | Mapping | list",
+    *,
+    keep_alive: bool = True,
+    content_type: str = "application/json",
+    extra_headers: "Mapping[str, str] | None" = None,
+) -> bytes:
+    """Serialize one fixed-length HTTP response.
+
+    Mapping/list bodies are JSON-encoded; the connection header
+    reflects ``keep_alive`` so the peer knows whether to reuse the
+    socket.
+    """
+    if isinstance(body, (dict, list)):
+        body = json.dumps(body)
+    if isinstance(body, str):
+        body = body.encode()
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    headers = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        headers.append(f"{name}: {value}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body
+
+
+def error_body(message: str) -> "dict[str, str]":
+    """The plain (non-RunResult) JSON error body for protocol errors."""
+    return {"error": message}

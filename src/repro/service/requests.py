@@ -1,6 +1,6 @@
 """JSONL request parsing: a thin front end over API v1.
 
-One request per line.  The canonical form is the versioned v1 envelope
+One request per line, in the versioned v1 envelope form
 (see :mod:`repro.api.envelope`)::
 
     {"api_version": "v1", "id": "my-run",
@@ -8,29 +8,20 @@ One request per line.  The canonical form is the versioned v1 envelope
                 "solver": "vlasov"},
      "observables": ["energies", "mode1"], "dtype": "float32"}
 
-Legacy bare-config lines — :meth:`SimulationConfig.to_dict` fields at
-the top level plus an optional ``id`` — are still accepted with a
-``DeprecationWarning``::
-
-    {"scenario": "two_stream", "v0": 0.2, "seed": 3, "id": "my-run"}
-
-A line is treated as a v1 envelope whenever it carries ``api_version``
-or ``config``.  Envelope-only keys (``observables``, ``metadata``,
-``tags``, ``phase_space``) appearing on a bare legacy line are rejected
-with a pointer to the envelope form — they are reserved, never silently
-treated as config fields.  Blank lines and ``#`` comment lines are
-skipped.
+Pre-v1 bare-config lines — :meth:`SimulationConfig.to_dict` fields at
+the top level plus an optional ``id`` — were deprecated when the v1
+envelope landed and are now rejected with an error naming the envelope
+form.  A line is treated as a v1 envelope whenever it carries
+``api_version`` or ``config``; anything else is a legacy line and
+hard-errors.  Blank lines and ``#`` comment lines are skipped.
 """
 
 from __future__ import annotations
 
 import json
-import warnings
 from typing import Iterable
 
-from repro.api.envelope import RESERVED_CONFIG_KEYS, RunRequest
-from repro.config import SimulationConfig
-from repro.engines.base import validate_engine_config
+from repro.api.envelope import RunRequest
 
 RESERVED_KEYS = ("id",)
 
@@ -49,28 +40,15 @@ def parse_request(obj: dict, index: int = 0) -> RunRequest:
     """
     if not isinstance(obj, dict):
         raise ValueError(f"request must be a JSON object, got {type(obj).__name__}")
-    if "api_version" in obj or "config" in obj:
-        return RunRequest.from_dict(obj, index=index)
-
-    # Legacy bare-config line: config fields at the top level + "id".
-    warnings.warn(
-        "bare-config request lines are deprecated; wrap the config in a "
-        'v1 envelope: {"api_version": "v1", "id": ..., "config": {...}}',
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    payload = dict(obj)
-    request_id = str(payload.pop("id", f"request-{index}"))
-    reserved = sorted(set(payload) & set(RESERVED_CONFIG_KEYS))
-    if reserved:
+    if "api_version" not in obj and "config" not in obj:
+        # Legacy bare-config line (config fields at the top level):
+        # deprecated with the v1 envelope, removed now.
         raise ValueError(
-            f"key(s) {', '.join(map(repr, reserved))} are reserved for the v1 "
-            f"request envelope and are not config fields; send "
-            f'{{"api_version": "v1", "config": {{...}}, ...}} instead'
+            "legacy bare-config request lines are no longer accepted; wrap "
+            'the config in a v1 envelope: {"api_version": "v1", "id": ..., '
+            '"config": {...}}'
         )
-    config = SimulationConfig.from_dict(payload)
-    validate_engine_config(config)  # any registry family, built-in or user
-    return RunRequest(config=config, id=request_id)
+    return RunRequest.from_dict(obj, index=index)
 
 
 def read_requests(lines: Iterable[str]) -> list[RunRequest]:

@@ -103,6 +103,7 @@ class SimulationService:
             "errors": 0,
             "store_errors": 0,
         }
+        self._batch_sizes: "dict[int, int]" = {}
         self._thread: "threading.Thread | None" = None
         if start:
             self._thread = threading.Thread(
@@ -210,6 +211,12 @@ class SimulationService:
             out["store_misses"] = self.store.misses
         return out
 
+    @property
+    def batch_size_histogram(self) -> "dict[int, int]":
+        """Executed engine-batch sizes -> occurrence counts."""
+        with self._lock:
+            return dict(self._batch_sizes)
+
     def close(self) -> None:
         """Drain pending work, resolve all futures, stop the worker."""
         with self._wake:
@@ -297,6 +304,8 @@ class SimulationService:
             return
         with self._lock:
             self._stats["batches"] += 1
+            size = len(group)
+            self._batch_sizes[size] = self._batch_sizes.get(size, 0) + 1
         try:
             # Final phase-space state, captured once for the whole batch
             # when any requester asked for it.

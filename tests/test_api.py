@@ -3,7 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.api import API_VERSION, ApiError, Client, RunRequest, RunResult
+from repro.api import (
+    API_VERSION,
+    FAILURE_STATUSES,
+    RESULT_STATUSES,
+    ApiError,
+    Client,
+    RunRequest,
+    RunResult,
+)
 from repro.config import SimulationConfig
 from repro.engines.observables import canonical_observables
 from repro.service import read_requests
@@ -113,12 +121,11 @@ class TestRunRequestSchema:
 
 
 class TestLegacyLines:
-    def test_legacy_line_parses_with_deprecation(self):
-        with pytest.warns(DeprecationWarning, match="bare-config"):
-            reqs = read_requests(['{"v0": 0.3, "id": "legacy"}'])
-        assert isinstance(reqs[0], RunRequest)
-        assert reqs[0].id == "legacy"
-        assert reqs[0].config.v0 == 0.3
+    def test_legacy_line_hard_errors_naming_the_envelope(self):
+        with pytest.raises(ValueError, match="legacy bare-config") as excinfo:
+            read_requests(['{"v0": 0.3, "id": "legacy"}'])
+        assert "v1 envelope" in str(excinfo.value)
+        assert "line 1" in str(excinfo.value)
 
     def test_v1_line_round_trips_through_jsonl(self, config):
         import json
@@ -294,6 +301,94 @@ class TestRunResultSchema:
         np.testing.assert_array_equal(back.efield, result.efield)
         np.testing.assert_array_equal(back.final_x, result.final_x)
         np.testing.assert_array_equal(back.final_v, result.final_v)
+
+
+class TestTerminalStatuses:
+    def test_status_vocabulary(self):
+        assert RESULT_STATUSES == ("ok", "error", "shed", "timeout")
+        assert FAILURE_STATUSES == ("error", "shed", "timeout")
+
+    def test_unknown_status_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown result status"):
+            RunResult(id="x", status="pending")
+
+    def test_failure_statuses_require_a_message(self, config):
+        req = RunRequest(config=config, id="x")
+        for status in FAILURE_STATUSES:
+            with pytest.raises(ValueError, match="error message"):
+                RunResult(id="x", status=status)
+            result = RunResult.from_failure(req, status, "why it died",
+                                            wall_s=0.25)
+            assert result.status == status
+            assert result.error == "why it died"
+            assert result.timings["wall_s"] == 0.25
+
+    def test_raise_for_status_names_the_status(self, config):
+        req = RunRequest(config=config, id="victim")
+        for status in FAILURE_STATUSES:
+            result = RunResult.from_failure(req, status, "overloaded")
+            with pytest.raises(ApiError, match=f"status '{status}'") as excinfo:
+                result.raise_for_status()
+            assert excinfo.value.status == status
+            assert excinfo.value.result is result
+        ok = RunResult(id="fine", status="ok")
+        assert ok.raise_for_status() is ok
+
+    def test_failure_results_round_trip_the_wire(self, config):
+        req = RunRequest(config=config, id="x", tags=("batch",))
+        for status in FAILURE_STATUSES:
+            back = RunResult.from_dict(
+                RunResult.from_failure(req, status, "boom").to_dict())
+            assert back.status == status
+            assert back.error == "boom"
+            assert back.config == config
+            assert back.tags == ("batch",)
+
+
+class TestRunResultWireRoundTrip:
+    def _served(self, config, **kwargs):
+        with small_client() as client:
+            return client.run(RunRequest(config=config, id="w", **kwargs))
+
+    def test_json_round_trip_bitwise_exact(self, config):
+        import json
+
+        result = self._served(config, phase_space=True)
+        back = RunResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert back.id == result.id
+        assert back.key == result.key
+        assert back.status == "ok"
+        assert back.config == result.config
+        for name in result.series:
+            a, b = np.asarray(back.series[name]), np.asarray(result.series[name])
+            assert a.dtype == b.dtype
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(back.efield, result.efield)
+        np.testing.assert_array_equal(back.final_x, result.final_x)
+        np.testing.assert_array_equal(back.final_v, result.final_v)
+
+    def test_float32_dtypes_restored(self, config):
+        result = self._served(config.with_updates(dtype="float32"))
+        back = RunResult.from_dict(result.to_dict())
+        assert np.asarray(back.series["kinetic"]).dtype == np.float32
+        np.testing.assert_array_equal(
+            np.asarray(back.series["kinetic"]),
+            np.asarray(result.series["kinetic"]),
+        )
+
+    def test_unknown_result_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown result key"):
+            RunResult.from_dict(
+                {"api_version": "v1", "id": "x", "status": "ok", "extra": 1})
+
+    def test_unknown_status_rejected_at_parse(self):
+        with pytest.raises(ValueError, match="unknown result status"):
+            RunResult.from_dict(
+                {"api_version": "v1", "id": "x", "status": "maybe"})
+
+    def test_unknown_version_rejected_at_parse(self):
+        with pytest.raises(ValueError, match="api_version"):
+            RunResult.from_dict({"api_version": "v9", "id": "x", "status": "ok"})
 
 
 class TestFloat32ParityBand:

@@ -178,8 +178,9 @@ class TestScenariosCommand:
 
 
 class TestServeCommand:
-    REQUEST = ('{"scenario": "%s", "n_cells": 16, "particles_per_cell": 10, '
-               '"n_steps": 3, "vth": 0.01, "seed": %d, "id": "%s"}')
+    REQUEST = ('{"api_version": "v1", "config": {"scenario": "%s", '
+               '"n_cells": 16, "particles_per_cell": 10, "n_steps": 3, '
+               '"vth": 0.01, "seed": %d}, "id": "%s"}')
 
     def _write_requests(self, tmp_path, specs):
         path = tmp_path / "requests.jsonl"
@@ -228,14 +229,24 @@ class TestServeCommand:
 
     def test_bad_request_line_reports_cleanly(self, capsys, tmp_path):
         path = tmp_path / "requests.jsonl"
-        path.write_text('{"n_cells": 16}\n{"nsteps": 3}\n')
+        path.write_text('{"api_version": "v1", "config": {"n_cells": 16}}\n'
+                        '{"api_version": "v1", "config": {"nsteps": 3}}\n')
         code = main(["serve", "--requests", str(path)])
         assert code == 2
         assert "line 2" in capsys.readouterr().err
 
+    def test_legacy_bare_config_line_reports_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        path.write_text('{"n_cells": 16, "id": "old-style"}\n')
+        code = main(["serve", "--requests", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "legacy bare-config" in err and "v1 envelope" in err
+
     def test_unknown_scenario_reports_cleanly(self, capsys, tmp_path):
         path = tmp_path / "requests.jsonl"
-        path.write_text('{"scenario": "typo_scenario", "n_steps": 1}\n')
+        path.write_text('{"api_version": "v1", "config": '
+                        '{"scenario": "typo_scenario", "n_steps": 1}}\n')
         code = main(["serve", "--requests", str(path)])
         assert code == 2
         err = capsys.readouterr().err
@@ -243,7 +254,7 @@ class TestServeCommand:
 
     def test_wrong_typed_value_reports_cleanly(self, capsys, tmp_path):
         path = tmp_path / "requests.jsonl"
-        path.write_text('{"n_cells": "sixteen"}\n')
+        path.write_text('{"api_version": "v1", "config": {"n_cells": "sixteen"}}\n')
         code = main(["serve", "--requests", str(path)])
         assert code == 2
         assert "line 1" in capsys.readouterr().err
@@ -263,10 +274,11 @@ class TestServeCommand:
     def test_vlasov_requests_served_without_model_dir(self, capsys, tmp_path):
         path = tmp_path / "requests.jsonl"
         path.write_text(
-            '{"solver": "vlasov", "n_cells": 16, "n_steps": 2, "vth": 0.03, '
-            '"extra": {"n_v": 24}, "id": "v1"}\n'
-            '{"solver": "vlasov", "n_cells": 16, "n_steps": 2, "vth": 0.05, '
-            '"scenario": "landau_damping", "extra": {"n_v": 24}, "id": "v2"}\n'
+            '{"api_version": "v1", "id": "v-a", "config": {"solver": "vlasov", '
+            '"n_cells": 16, "n_steps": 2, "vth": 0.03, "extra": {"n_v": 24}}}\n'
+            '{"api_version": "v1", "id": "v-b", "config": {"solver": "vlasov", '
+            '"n_cells": 16, "n_steps": 2, "vth": 0.05, '
+            '"scenario": "landau_damping", "extra": {"n_v": 24}}}\n'
         )
         store = tmp_path / "store"
         manifest_path = tmp_path / "manifest.json"
@@ -280,14 +292,15 @@ class TestServeCommand:
         assert "1 engine batches" in out  # both coalesced into one engine
         manifest = json.loads(manifest_path.read_text())
         entries = {e["id"]: e for e in manifest["requests"]}
-        for rid in ("v1", "v2"):
+        for rid in ("v-a", "v-b"):
             assert entries[rid]["key"].startswith("vlasov-")
             assert (store / entries[rid]["file"]).exists()
 
     def test_dl_requests_require_model_dir(self, capsys, tmp_path):
         path = tmp_path / "requests.jsonl"
-        path.write_text('{"n_cells": 16, "particles_per_cell": 10, "n_steps": 1, '
-                        '"solver": "dl"}\n')
+        path.write_text('{"api_version": "v1", "config": {"n_cells": 16, '
+                        '"particles_per_cell": 10, "n_steps": 1, '
+                        '"solver": "dl"}}\n')
         code = main(["serve", "--requests", str(path)])
         assert code == 2
         assert "--model-dir" in capsys.readouterr().err
@@ -297,12 +310,58 @@ class TestServeCommand:
 
         monkeypatch.setattr(
             "sys.stdin",
-            io.StringIO('{"n_cells": 16, "particles_per_cell": 10, "n_steps": 2, '
-                        '"vth": 0.01}\n'),
+            io.StringIO('{"api_version": "v1", "config": {"n_cells": 16, '
+                        '"particles_per_cell": 10, "n_steps": 2, '
+                        '"vth": 0.01}}\n'),
         )
         code = main(["serve"])
         assert code == 0
         assert "served 1 requests" in capsys.readouterr().out
+
+    def test_drain_rows_report_wall_clock(self, capsys, tmp_path):
+        path = self._write_requests(tmp_path, [("two_stream", 0, "timed")])
+        assert main(["serve", "--requests", str(path)]) == 0
+        out = capsys.readouterr().out
+        header, row = None, None
+        for line in out.splitlines():
+            if line.lstrip().startswith("id ") and "wall ms" in line:
+                header = line
+            if "timed" in line:
+                row = line
+        assert header is not None and row is not None
+        # the wall-clock column holds a parseable millisecond figure
+        assert float(row.split()[-1]) >= 0.0
+
+
+class TestServeListenParsing:
+    def test_listen_address_split(self):
+        from repro.cli import _parse_listen_address
+
+        assert _parse_listen_address("127.0.0.1:8787") == ("127.0.0.1", 8787)
+        assert _parse_listen_address("0.0.0.0:0") == ("0.0.0.0", 0)
+        for bad in ("8787", ":8787", "host:", "host:http", "host:70000"):
+            with pytest.raises(ValueError, match="--listen"):
+                _parse_listen_address(bad)
+
+    def test_bad_listen_address_reports_cleanly(self, capsys):
+        assert main(["serve", "--listen", "nocolon"]) == 2
+        assert "--listen takes HOST:PORT" in capsys.readouterr().err
+        assert main(["serve", "--listen", "127.0.0.1:port"]) == 2
+        assert "integer" in capsys.readouterr().err
+
+    def test_listen_defaults_parsed(self):
+        args = build_parser().parse_args(
+            ["serve", "--listen", "127.0.0.1:0", "--max-pending", "32",
+             "--request-timeout", "1.5", "--max-connections", "64"])
+        assert args.listen == "127.0.0.1:0"
+        assert args.max_pending == 32
+        assert args.request_timeout == 1.5
+        assert args.max_connections == 64
+        drain = build_parser().parse_args(["serve"])
+        assert drain.listen is None
+        assert drain.max_pending == 256
+        assert drain.request_timeout is None
+        assert drain.max_connections == 128
 
 
 class TestDatasetCommand:

@@ -102,7 +102,9 @@ class TestRegistryExtensibility:
     def test_custom_family_parses_from_jsonl(self, custom_family):
         from repro.service import parse_request
 
-        req = parse_request(custom_family.to_dict())
+        req = parse_request(
+            {"api_version": "v1", "config": custom_family.to_dict()}
+        )
         assert req.solver == "custom-test-family"
 
     def test_custom_family_served(self, custom_family):

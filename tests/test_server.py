@@ -1,0 +1,475 @@
+"""Networked service: HTTP endpoints, backpressure, drain, transports."""
+
+import http.client
+import json
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ApiError,
+    Client,
+    HttpTransport,
+    InProcessTransport,
+    RunRequest,
+    RunResult,
+    Transport,
+)
+from repro.config import SimulationConfig
+from repro.server import HTTP_FOR_STATUS, SimulationServer, serve_in_thread
+from repro.service import SimulationService
+
+
+def small_config(**kwargs):
+    base = dict(n_cells=16, particles_per_cell=10, n_steps=4, vth=0.02)
+    base.update(kwargs)
+    return SimulationConfig(**base)
+
+
+def heavy_config(**kwargs):
+    """A config slow enough to hold the admission queue open."""
+    base = dict(n_cells=128, particles_per_cell=400, n_steps=400, seed=1)
+    base.update(kwargs)
+    return SimulationConfig(**base)
+
+
+def raw_request(server, method, path, body=None, headers=None):
+    """One HTTP round trip on a fresh connection, returning (status, bytes)."""
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    try:
+        conn.request(method, path, body=body,
+                     headers=headers or ({"Content-Type": "application/json"}
+                                         if body is not None else {}))
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+@pytest.fixture(scope="module")
+def server():
+    with serve_in_thread(max_batch_size=8, max_wait=0.005) as srv:
+        yield srv
+
+
+class TestProtocol:
+    def test_unknown_path_404(self, server):
+        status, data = raw_request(server, "GET", "/nope")
+        assert status == 404
+        assert "/v1/run" in json.loads(data)["error"]
+
+    def test_wrong_method_405(self, server):
+        status, data = raw_request(server, "GET", "/v1/run")
+        assert status == 405
+        status, data = raw_request(server, "POST", "/v1/health")
+        assert status == 405
+        assert "not allowed" in json.loads(data)["error"]
+
+    def test_malformed_json_body_400_error_result(self, server):
+        status, data = raw_request(server, "POST", "/v1/run", b"{not json")
+        assert status == 400
+        result = RunResult.from_dict(json.loads(data))
+        assert result.status == "error"
+        assert "JSON" in result.error
+
+    def test_wrong_api_version_400_error_result(self, server):
+        body = json.dumps({"api_version": "v2", "id": "x",
+                           "config": {"v0": 0.2}}).encode()
+        status, data = raw_request(server, "POST", "/v1/run", body)
+        assert status == 400
+        payload = json.loads(data)
+        assert payload["status"] == "error"
+        assert payload["id"] == "x"
+        assert "api_version" in payload["error"]
+
+    def test_bad_config_400_error_result(self, server):
+        body = json.dumps({"api_version": "v1", "id": "bad",
+                           "config": {"n_particles": 4}}).encode()
+        status, data = raw_request(server, "POST", "/v1/run", body)
+        assert status == 400
+        payload = json.loads(data)
+        assert payload["status"] == "error"
+        assert "n_particles" in payload["error"]
+
+    def test_malformed_request_line_400(self, server):
+        with socket.create_connection((server.host, server.port), timeout=30) as s:
+            s.sendall(b"BOGUS\r\n\r\n")
+            data = s.recv(65536)
+        assert b"400" in data.split(b"\r\n", 1)[0]
+
+    def test_chunked_encoding_rejected_411(self, server):
+        with socket.create_connection((server.host, server.port), timeout=30) as s:
+            s.sendall(b"POST /v1/run HTTP/1.1\r\n"
+                      b"Transfer-Encoding: chunked\r\n\r\n")
+            data = s.recv(65536)
+        assert b"411" in data.split(b"\r\n", 1)[0]
+
+    def test_keep_alive_serves_many_requests_per_connection(self, server):
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            for _ in range(3):
+                conn.request("GET", "/v1/health")
+                response = conn.getresponse()
+                assert response.status == 200
+                response.read()
+        finally:
+            conn.close()
+
+
+class TestHealthAndMetrics:
+    def test_health_schema(self, server):
+        status, data = raw_request(server, "GET", "/v1/health")
+        assert status == 200
+        payload = json.loads(data)
+        assert payload["status"] == "ok"
+        assert payload["api_version"] == "v1"
+        assert payload["draining"] is False
+        assert isinstance(payload["inflight"], int)
+        assert isinstance(payload["connections"], int)
+
+    def test_metrics_schema_and_counts(self, server):
+        with Client.connect(server.url) as client:
+            client.run(RunRequest(config=small_config(seed=101), id="m-1"))
+        status, data = raw_request(server, "GET", "/v1/metrics")
+        assert status == 200
+        payload = json.loads(data)
+        assert payload["api_version"] == "v1"
+        requests = payload["requests"]
+        assert requests["total"] >= 1
+        assert requests["by_endpoint"].get("/v1/run", 0) >= 1
+        assert set(requests["by_status"]) == {"ok", "error", "shed", "timeout"}
+        assert payload["queue"]["max_pending"] == server.max_pending
+        assert payload["connections"]["limit"] == server.max_connections
+        assert 0.0 <= payload["cache_hit_ratio"] <= 1.0
+        hist = payload["batch_size_histogram"]
+        assert sum(hist.values()) >= 1 and all(
+            int(size) >= 1 for size in hist
+        )
+        latency = payload["latency"]
+        assert latency["count"] >= 1
+        assert 0.0 <= latency["p50_s"] <= latency["p99_s"] <= latency["max_s"]
+        assert payload["http_responses"].get("200", 0) >= 1
+        assert "service" in payload
+
+
+class TestRunEndpoint:
+    def test_remote_result_bitwise_equals_in_process(self, server):
+        request = RunRequest(config=small_config(seed=7), id="parity",
+                             phase_space=True)
+        with Client.connect(server.url) as remote:
+            over_http = remote.run(request)
+        with Client(background=False) as local:
+            in_process = local.run(request)
+        assert over_http.status == "ok"
+        assert over_http.key == in_process.key
+        assert sorted(over_http.series) == sorted(in_process.series)
+        for name in in_process.series:
+            a = np.asarray(over_http.series[name])
+            b = np.asarray(in_process.series[name])
+            assert a.dtype == b.dtype
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(over_http.efield, in_process.efield)
+        np.testing.assert_array_equal(over_http.final_x, in_process.final_x)
+        np.testing.assert_array_equal(over_http.final_v, in_process.final_v)
+
+    def test_float32_tier_round_trips_exactly(self, server):
+        request = RunRequest(
+            config=small_config(seed=8, dtype="float32"), id="f32")
+        with Client.connect(server.url) as remote:
+            over_http = remote.run(request)
+        with Client(background=False) as local:
+            in_process = local.run(request)
+        assert np.asarray(over_http.series["kinetic"]).dtype == np.float32
+        for name in in_process.series:
+            np.testing.assert_array_equal(
+                np.asarray(over_http.series[name]),
+                np.asarray(in_process.series[name]),
+            )
+
+    def test_execution_failure_travels_as_500_error_result(self, server):
+        request = RunRequest(
+            config=small_config(solver="dl"), id="no-model")
+        with Client.connect(server.url, raise_on_error=False) as client:
+            result = client.run(request)
+        assert result.status == "error"
+        assert "dl_solver" in result.error
+        with Client.connect(server.url) as client:
+            with pytest.raises(ApiError, match="no-model") as excinfo:
+                client.run(request)
+            assert excinfo.value.status == "error"
+
+    def test_repeat_request_hits_the_store(self, server):
+        request = RunRequest(config=small_config(seed=55), id="cache-me")
+        with Client.connect(server.url) as client:
+            first = client.run(request)
+            second = client.run(request)
+        assert first.key == second.key
+        assert second.cache_hit and second.submit_status == "cached"
+
+
+class TestBatchEndpoint:
+    def test_jsonl_round_trip_order_and_per_line_errors(self, server):
+        lines = [
+            json.dumps(RunRequest(config=small_config(seed=31),
+                                  id="b-0").to_dict()),
+            "# a comment",
+            "",
+            "{broken json",
+            json.dumps({"api_version": "v1", "id": "b-bad",
+                        "config": {"nope": 1}}),
+            json.dumps(RunRequest(config=small_config(seed=32),
+                                  id="b-1").to_dict()),
+        ]
+        status, data = raw_request(
+            server, "POST", "/v1/batch", "\n".join(lines).encode())
+        assert status == 200
+        results = [RunResult.from_dict(json.loads(line))
+                   for line in data.decode().splitlines()]
+        assert [r.id for r in results] == ["b-0", "request-4", "b-bad", "b-1"]
+        assert [r.status for r in results] == ["ok", "error", "error", "ok"]
+        assert "line 4" in results[1].error
+        assert "nope" in results[2].error
+
+    def test_batch_lines_coalesce_into_engine_batches(self):
+        with serve_in_thread(max_batch_size=8, max_wait=0.05) as srv:
+            lines = [
+                json.dumps(RunRequest(config=small_config(seed=40 + i),
+                                      id=f"c-{i}").to_dict())
+                for i in range(4)
+            ]
+            status, data = raw_request(
+                srv, "POST", "/v1/batch", "\n".join(lines).encode())
+            assert status == 200
+            assert all(json.loads(line)["status"] == "ok"
+                       for line in data.decode().splitlines())
+            histogram = srv.service.batch_size_histogram
+        # All four structurally-identical requests landed in one batch.
+        assert histogram.get(4, 0) >= 1
+
+
+class TestConcurrentParity:
+    def test_many_connections_bitwise_parity(self, server):
+        requests = [RunRequest(config=small_config(seed=200 + i), id=f"p-{i}")
+                    for i in range(12)]
+        with Client.connect(server.url, max_connections=12) as remote:
+            over_http = remote.map(requests)
+        with Client(background=False) as local:
+            in_process = local.map(requests)
+        assert [r.id for r in over_http] == [r.id for r in in_process]
+        for a, b in zip(over_http, in_process):
+            assert a.status == "ok" and a.key == b.key
+            for name in b.series:
+                np.testing.assert_array_equal(
+                    np.asarray(a.series[name]), np.asarray(b.series[name])
+                )
+
+
+class TestBackpressure:
+    def test_zero_capacity_sheds_everything(self):
+        with serve_in_thread(max_pending=0) as srv:
+            with Client.connect(srv.url, raise_on_error=False) as client:
+                result = client.run(RunRequest(config=small_config(), id="s-0"))
+            assert result.status == "shed"
+            assert "retry later" in result.error
+            status, data = raw_request(
+                srv, "POST", "/v1/run",
+                json.dumps(RunRequest(config=small_config(),
+                                      id="s-1").to_dict()).encode())
+            assert status == HTTP_FOR_STATUS["shed"] == 503
+            assert json.loads(data)["status"] == "shed"
+            # Health stays serviceable while shedding.
+            health, payload = raw_request(srv, "GET", "/v1/health")
+            assert health == 200 and json.loads(payload)["status"] == "ok"
+            assert srv.metrics.by_status["shed"] == 2
+
+    def test_shed_raises_apierror_with_status(self):
+        with serve_in_thread(max_pending=0) as srv:
+            with Client.connect(srv.url) as client:
+                with pytest.raises(ApiError, match="shed") as excinfo:
+                    client.run(RunRequest(config=small_config(), id="s-2"))
+        assert excinfo.value.status == "shed"
+        assert excinfo.value.result.id == "s-2"
+
+    def test_overload_sheds_then_recovers(self):
+        with serve_in_thread(max_pending=1, max_wait=0.001) as srv:
+            with Client.connect(srv.url, max_connections=4,
+                                raise_on_error=False) as client:
+                slow = client.submit(RunRequest(config=heavy_config(),
+                                                id="slow"))
+                deadline = time.time() + 30
+                while srv._inflight == 0 and time.time() < deadline:
+                    time.sleep(0.001)
+                fast = client.map([
+                    RunRequest(config=small_config(seed=70 + i), id=f"f-{i}")
+                    for i in range(3)
+                ])
+                slow_result = slow.result(timeout=120)
+                assert slow_result.status == "ok"
+                statuses = {r.status for r in fast}
+                assert "shed" in statuses
+                # The queue drained: the next request is served normally.
+                after = client.run(RunRequest(config=small_config(seed=99),
+                                              id="after"))
+                assert after.status == "ok"
+
+
+class TestTimeout:
+    def test_slow_request_times_out_504(self):
+        with serve_in_thread(request_timeout=0.02) as srv:
+            with Client.connect(srv.url, raise_on_error=False) as client:
+                result = client.run(RunRequest(config=heavy_config(seed=2),
+                                               id="deadline"))
+            assert result.status == "timeout"
+            assert "deadline" in result.error
+            assert srv.metrics.by_status["timeout"] == 1
+            status, _ = raw_request(srv, "GET", "/v1/health")
+            assert status == 200
+
+    def test_fast_request_beats_generous_deadline(self):
+        with serve_in_thread(request_timeout=120.0) as srv:
+            with Client.connect(srv.url) as client:
+                result = client.run(RunRequest(config=small_config(), id="quick"))
+            assert result.status == "ok"
+
+
+class TestConnectionLimit:
+    def test_excess_connection_rejected_503(self):
+        with serve_in_thread(max_connections=1) as srv:
+            first = http.client.HTTPConnection(srv.host, srv.port, timeout=30)
+            try:
+                first.request("GET", "/v1/health")
+                assert first.getresponse().status == 200
+                # keep-alive holds the only slot open
+                second = http.client.HTTPConnection(
+                    srv.host, srv.port, timeout=30)
+                try:
+                    second.request("GET", "/v1/health")
+                    response = second.getresponse()
+                    assert response.status == 503
+                    assert "connection limit" in json.loads(
+                        response.read())["error"]
+                finally:
+                    second.close()
+            finally:
+                first.close()
+            assert srv.metrics.connections_rejected == 1
+
+
+class TestGracefulDrain:
+    def test_inflight_requests_resolve_before_shutdown(self):
+        requests = [
+            RunRequest(config=small_config(seed=300 + i, n_cells=64,
+                                           particles_per_cell=100,
+                                           n_steps=120), id=f"d-{i}")
+            for i in range(6)
+        ]
+        with serve_in_thread(max_wait=0.02) as srv:
+            transport = HttpTransport(srv.url, max_connections=6)
+            try:
+                futures = [transport.submit(r) for r in requests]
+                # Exit (= drain) only once every request reached the
+                # server: admitted (inflight) or already answered (done).
+                deadline = time.time() + 60
+                while (srv._inflight + sum(f.done() for f in futures) < 6
+                       and time.time() < deadline):
+                    time.sleep(0.001)
+            except BaseException:
+                transport.close()
+                raise
+        # leaving the context drained: every admitted request was answered
+        results = [f.result(timeout=30) for f in futures]
+        transport.close()
+        assert {r.status for r in results} == {"ok"}
+        assert [r.id for r in results] == [r.id for r in requests]
+
+    def test_draining_server_reports_and_sheds(self):
+        with serve_in_thread() as srv:
+            pass  # context exit closed it
+        assert srv._draining is True
+        result_future = srv._transport.submit(
+            RunRequest(config=small_config(), id="late"))
+        # The owned service is closed; late submissions fail cleanly.
+        assert result_future.result(timeout=5).status == "error"
+
+
+class TestTransports:
+    def test_transport_protocol_runtime_check(self):
+        service = SimulationService(start=False)
+        try:
+            assert isinstance(InProcessTransport(service), Transport)
+        finally:
+            service.close()
+        transport = HttpTransport("http://127.0.0.1:1")
+        try:
+            assert isinstance(transport, Transport)
+        finally:
+            transport.close()
+
+    def test_client_rejects_service_and_transport_together(self):
+        service = SimulationService(start=False)
+        try:
+            transport = InProcessTransport(service)
+            with pytest.raises(ValueError, match="not both"):
+                Client(service, transport=transport)
+        finally:
+            service.close()
+
+    def test_explicit_in_process_transport_matches_default_client(self):
+        request = RunRequest(config=small_config(seed=5), id="same")
+        service = SimulationService(start=False)
+        with Client(transport=InProcessTransport(service,
+                                                 owns_service=True)) as client:
+            via_transport = client.run(request)
+        with Client(background=False) as client:
+            via_default = client.run(request)
+        assert via_transport.key == via_default.key
+        for name in via_default.series:
+            np.testing.assert_array_equal(
+                np.asarray(via_transport.series[name]),
+                np.asarray(via_default.series[name]),
+            )
+
+    def test_http_transport_rejects_bad_urls(self):
+        with pytest.raises(ValueError, match="http://"):
+            HttpTransport("ftp://example:1")
+        with pytest.raises(ValueError, match="path"):
+            HttpTransport("http://example:1/v1/run")
+        with pytest.raises(ValueError, match="max_connections"):
+            HttpTransport("http://example:1", max_connections=0)
+
+    def test_connect_client_has_no_in_process_service(self, server):
+        with Client.connect(server.url) as client:
+            assert isinstance(client.transport, HttpTransport)
+            with pytest.raises(AttributeError, match="no in-process service"):
+                client.service
+
+    def test_connection_refused_travels_as_error_result(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        with Client.connect(f"http://127.0.0.1:{free_port}",
+                            raise_on_error=False) as client:
+            result = client.run(RunRequest(config=small_config(), id="nobody"))
+        assert result.status == "error"
+        assert result.id == "nobody"
+
+    def test_http_transport_stats_reads_server_metrics(self, server):
+        transport = HttpTransport(server.url)
+        try:
+            stats = transport.stats
+        finally:
+            transport.close()
+        assert stats.get("api_version") == "v1"
+        assert "requests" in stats
+
+
+class TestServerValidation:
+    def test_constructor_bounds(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            SimulationServer(max_pending=-1)
+        with pytest.raises(ValueError, match="max_connections"):
+            SimulationServer(max_connections=0)
+        with pytest.raises(ValueError, match="request_timeout"):
+            SimulationServer(request_timeout=0.0)

@@ -441,54 +441,59 @@ class TestVlasovService:
 
 class TestRequestParsing:
     def test_parse_request_defaults(self):
-        with pytest.warns(DeprecationWarning, match="bare-config"):
-            req = parse_request({"v0": 0.3}, index=2)
+        req = parse_request({"api_version": "v1", "config": {"v0": 0.3}}, index=2)
         assert req.config.v0 == 0.3
         assert req.solver == "traditional"
         assert req.id == "request-2"
 
-    def test_reserved_keys_extracted(self):
-        with pytest.warns(DeprecationWarning):
-            req = parse_request({"id": "x", "solver": "dl", "seed": 7})
-        assert (req.id, req.solver, req.config.seed) == ("x", "dl", 7)
-
-    def test_v1_envelope_parses_without_warning(self, recwarn):
+    def test_envelope_fields_extracted(self):
         req = parse_request({
             "api_version": "v1", "id": "x",
             "config": {"solver": "dl", "seed": 7},
         })
         assert (req.id, req.solver, req.config.seed) == ("x", "dl", 7)
-        assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]
 
-    def test_envelope_keys_rejected_on_bare_lines(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="reserved for the v1"):
-                parse_request({"v0": 0.3, "observables": ["energies"]})
+    def test_legacy_bare_config_lines_hard_error(self):
+        with pytest.raises(ValueError, match="legacy bare-config"):
+            parse_request({"v0": 0.3})
+        with pytest.raises(ValueError, match="v1 envelope"):
+            parse_request({"id": "x", "solver": "dl", "seed": 7})
+
+    def test_config_without_version_rejected(self):
+        with pytest.raises(ValueError, match="api_version"):
+            parse_request({"config": {"v0": 0.3}})
 
     def test_unknown_config_key_rejected(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="nsteps"):
-                parse_request({"nsteps": 3})
+        with pytest.raises(ValueError, match="nsteps"):
+            parse_request({"api_version": "v1", "config": {"nsteps": 3}})
 
     def test_unknown_solver_rejected(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="solver"):
-                parse_request({"solver": "quantum"})
+        with pytest.raises(ValueError, match="solver"):
+            parse_request({"api_version": "v1", "config": {"solver": "quantum"}})
 
     def test_solver_is_a_config_field(self):
-        with pytest.warns(DeprecationWarning):
-            req = parse_request({"solver": "vlasov", "vth": 0.03, "extra": {"n_v": 32}})
+        req = parse_request({
+            "api_version": "v1",
+            "config": {"solver": "vlasov", "vth": 0.03, "extra": {"n_v": 32}},
+        })
         assert req.solver == "vlasov"
         assert req.config.solver == "vlasov"
         assert req.config.extra == {"n_v": 32}
 
     def test_cold_vlasov_request_fails_the_parse(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="vth > 0"):
-                parse_request({"solver": "vlasov", "vth": 0.0})
+        with pytest.raises(ValueError, match="vth > 0"):
+            parse_request({
+                "api_version": "v1",
+                "config": {"solver": "vlasov", "vth": 0.0},
+            })
 
     def test_read_requests_skips_blanks_and_comments(self):
-        lines = ["", "# header", '{"seed": 1}', "   ", '{"seed": 2}']
+        lines = [
+            "", "# header",
+            '{"api_version": "v1", "config": {"seed": 1}}',
+            "   ",
+            '{"api_version": "v1", "config": {"seed": 2}}',
+        ]
         requests = read_requests(lines)
         assert [r.config.seed for r in requests] == [1, 2]
         # default ids name the input line, not the running request count
@@ -496,8 +501,16 @@ class TestRequestParsing:
 
     def test_unknown_scenario_fails_the_parse(self):
         with pytest.raises(ValueError, match="line 1.*unknown scenario"):
-            read_requests(['{"scenario": "typo_scenario"}'])
+            read_requests(
+                ['{"api_version": "v1", "config": {"scenario": "typo_scenario"}}']
+            )
 
     def test_read_requests_reports_line_numbers(self):
         with pytest.raises(ValueError, match="line 2"):
-            read_requests(['{"seed": 1}', "{not json"])
+            read_requests(
+                ['{"api_version": "v1", "config": {"seed": 1}}', "{not json"]
+            )
+
+    def test_read_requests_reports_legacy_lines_with_line_numbers(self):
+        with pytest.raises(ValueError, match="line 1.*legacy bare-config"):
+            read_requests(['{"seed": 1}'])
