@@ -1,0 +1,122 @@
+"""Sharded executor pool throughput — 4 workers vs a single worker.
+
+A mixed workload of compatibility groups (every scenario, distinct
+``n_steps`` so each request lands in its own group) is pushed through
+two identically configured services: one inline (``workers=1``, the
+exact pre-pool path) and one sharded over 4 spawned workers.  The bench
+asserts the ISSUE's acceptance bar: at least a 2x wall-clock gain at 4
+workers, with every pooled result bitwise identical to its solo
+``make_engine`` run — pickling float64 arrays across the process
+boundary preserves every bit.
+
+The speedup gate only makes sense with real parallel hardware, so it is
+skipped when fewer than 4 usable cores are available (the numbers are
+still measured and dumped).  The numeric outcome always lands in
+``.artifacts/results/BENCH_pool.json`` and is uploaded as a CI
+artifact; CI's 4-core runners enforce the gate.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+from conftest import dump_result
+
+from repro.config import SimulationConfig
+from repro.engines.base import make_engine
+from repro.service import SimulationService
+
+N_GROUPS = 8
+WORKERS = 4
+# Heavy enough per group (~0.3s of particle pushing) that compute
+# dominates the per-group IPC cost; light enough that the whole bench
+# stays under ~10s of wall clock.
+BASE = SimulationConfig(
+    n_cells=64, particles_per_cell=100, n_steps=400, vth=0.01, seed=0
+)
+
+_SCENARIOS = [
+    ("two_stream", {"v0": 0.2}),
+    ("cold_beam", {"v0": 0.4}),
+    ("landau_damping", {"vth": 0.05}),
+    ("bump_on_tail", {"v0": 0.35, "extra": {"bump_fraction": 0.15}}),
+    ("random_perturbation", {"vth": 0.03}),
+]
+
+# Distinct n_steps per request => distinct compatibility groups => the
+# batcher cannot coalesce them, so the pool's group-level parallelism
+# is the only thing under test.
+CONFIGS = [
+    BASE.with_updates(
+        scenario=_SCENARIOS[i % 5][0],
+        seed=i,
+        n_steps=BASE.n_steps + i,
+        **_SCENARIOS[i % 5][1],
+    )
+    for i in range(N_GROUPS)
+]
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _run_with_workers(workers: int) -> tuple[float, list]:
+    service = SimulationService(max_wait=0.005, workers=workers)
+    try:
+        if workers > 1:
+            service.executor.warm()  # spawn cost stays out of the timing
+        start = time.perf_counter()
+        futures = [service.submit(config) for config in CONFIGS]
+        results = [future.result(timeout=600) for future in futures]
+        elapsed = time.perf_counter() - start
+    finally:
+        service.close()
+    return elapsed, results
+
+
+def test_pool_speedup_and_parity(results_dir):
+    cores = _usable_cores()
+    inline_s, inline_results = _run_with_workers(1)
+    pooled_s, pooled_results = _run_with_workers(WORKERS)
+    speedup = inline_s / pooled_s if pooled_s > 0 else float("inf")
+
+    # Parity before performance: the pool must change nothing numeric.
+    for config, inline_result, pooled_result in zip(
+        CONFIGS, inline_results, pooled_results
+    ):
+        solo = make_engine([config]).run(config.n_steps).as_arrays()
+        for name in inline_result.series:
+            want = solo[name] if name == "time" else solo[name][:, 0]
+            assert np.array_equal(pooled_result.series[name], want), name
+            assert np.array_equal(inline_result.series[name], want), name
+        assert np.array_equal(pooled_result.efield, inline_result.efield)
+
+    dump_result(
+        results_dir,
+        "BENCH_pool",
+        {
+            "n_groups": N_GROUPS,
+            "workers": WORKERS,
+            "usable_cores": cores,
+            "inline_s": inline_s,
+            "pooled_s": pooled_s,
+            "speedup": speedup,
+            "bitwise_parity": True,
+            "gate": f">=2x at {WORKERS} workers (enforced with >=4 cores)",
+        },
+    )
+
+    if cores < WORKERS:
+        pytest.skip(
+            f"speedup gate needs >= {WORKERS} usable cores, have {cores} "
+            f"(measured {speedup:.2f}x; parity held)"
+        )
+    assert speedup >= 2.0, (
+        f"expected >= 2x with {WORKERS} workers on {cores} cores, "
+        f"got {speedup:.2f}x (inline {inline_s:.2f}s, pooled {pooled_s:.2f}s)"
+    )

@@ -54,9 +54,12 @@ class Client:
         An explicit :class:`~repro.api.transport.Transport` to route
         requests through instead — mutually exclusive with ``service=``
         and the owned-service kwargs.  The client closes it.
-    max_batch_size, max_wait, store, dl_solver:
+    max_batch_size, max_wait, store, dl_solver, workers, model_dir:
         Forwarded to the owned service (ignored when ``service=`` or
-        ``transport=`` is passed).
+        ``transport=`` is passed).  ``workers > 1`` shards ready
+        compatibility groups across spawned worker processes;
+        ``model_dir`` lets those workers rehydrate the DL solver for
+        ``solver="dl"`` requests.
     background:
         Service execution mode — see the module docstring.
     raise_on_error:
@@ -78,6 +81,8 @@ class Client:
         max_wait: float = 0.02,
         store: "ResultStore | None" = None,
         dl_solver: "DLFieldSolver | None" = None,
+        workers: int = 1,
+        model_dir: "str | None" = None,
         background: bool = True,
         raise_on_error: bool = True,
     ) -> None:
@@ -96,6 +101,8 @@ class Client:
                     max_wait=max_wait,
                     store=store,
                     dl_solver=dl_solver,
+                    workers=workers,
+                    model_dir=model_dir,
                     start=background,
                 ),
                 owns_service=True,

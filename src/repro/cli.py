@@ -74,7 +74,7 @@ def _add_sweep(sub: "argparse._SubParsersAction") -> None:
     p.add_argument("--seed", type=int, default=0, help="base seed (run b uses seed+b)")
     p.add_argument("--interpolation", choices=["ngp", "cic", "tsc"], default="cic")
     p.add_argument("--poisson", choices=["spectral", "fd", "direct"], default="spectral")
-    p.add_argument("--solver", choices=["traditional", "dl", "vlasov", "energy"],
+    p.add_argument("--solver", choices=["traditional", "dl", "vlasov", "energy", "mpi"],
                    default="traditional",
                    help="engine family: classic deposit+Poisson PIC, a trained neural "
                         "solver, the noise-free semi-Lagrangian Vlasov ensemble, or "
@@ -121,6 +121,10 @@ def _add_serve(sub: "argparse._SubParsersAction") -> None:
                    help="in-memory LRU slots of the result store")
     p.add_argument("--model-dir", default=None,
                    help="DLFieldSolver.save directory backing requests with solver=dl")
+    p.add_argument("--workers", type=int, default=1,
+                   help="execution parallelism: 1 (default) runs groups inline on the "
+                        "service thread; N > 1 shards compatibility groups across N "
+                        "spawned worker processes (both drain and --listen modes)")
     p.add_argument("--max-pending", type=int, default=256,
                    help="listen mode: admitted-but-unresolved request bound; past it "
                         "requests are shed with HTTP 503 (status 'shed')")
@@ -399,6 +403,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     with Client(
         max_batch_size=args.max_batch, max_wait=args.max_wait,
         store=store, dl_solver=dl_solver, raise_on_error=False,
+        workers=args.workers, model_dir=args.model_dir,
     ) as client:
         try:
             results = client.map(requests)
@@ -483,6 +488,7 @@ def _cmd_serve_listen(args: argparse.Namespace) -> int:
         print(f"listening on {server.url}  "
               f"(POST /v1/run, POST /v1/batch, GET /v1/health, GET /v1/metrics)")
         print(f"max_batch={args.max_batch} max_wait={args.max_wait:g}s "
+              f"workers={args.workers} "
               f"max_pending={args.max_pending} request_timeout={timeout} "
               f"max_connections={args.max_connections}")
         print(_SERVE_HEADER, flush=True)
@@ -498,6 +504,7 @@ def _cmd_serve_listen(args: argparse.Namespace) -> int:
         max_connections=args.max_connections,
         max_batch_size=args.max_batch, max_wait=args.max_wait,
         store=store, dl_solver=dl_solver,
+        workers=args.workers, model_dir=args.model_dir,
         on_result=on_result, on_ready=on_ready,
     )
     try:

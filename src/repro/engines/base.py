@@ -1,8 +1,8 @@
 """The engine registry: one abstraction over every solver family.
 
 An *engine* advances a batch of independent runs and records shared
-:class:`~repro.engines.observables.Observables`.  Three families ship
-with the repo, selected by ``SimulationConfig.solver``:
+:class:`~repro.engines.observables.Observables`.  The built-in
+families, selected by ``SimulationConfig.solver``:
 
 ``traditional``
     The batched explicit PIC cycle
@@ -17,6 +17,10 @@ with the repo, selected by ``SimulationConfig.solver``:
 ``energy``
     The energy-conserving implicit-midpoint PIC
     (:class:`~repro.pic.energy_conserving.EnergyConservingEnsemble`).
+``mpi``
+    The simulated-MPI domain-decomposed traditional PIC
+    (:class:`~repro.parallel.picparallel.MPIEnsemble`; ``n_ranks``
+    via ``config.extra``).
 
 Every consumer — the micro-batching service, the CLI, the experiment
 pipeline, the data campaigns — builds engines exclusively through
@@ -74,6 +78,37 @@ VLASOV_STRUCTURAL_FIELDS = (
     "gradient",
     "dtype",
 )
+
+
+# Rank count of the simulated-MPI family, read from ``config.extra``
+# (``extra`` participates in equality and cache keys, so runs over
+# different decompositions never share a store slot).
+MPI_DEFAULT_N_RANKS = 4
+
+
+def mpi_rank_params(config: SimulationConfig) -> int:
+    """``n_ranks`` of a config's simulated-MPI decomposition.
+
+    Read from ``config.extra["n_ranks"]`` (default
+    :data:`MPI_DEFAULT_N_RANKS`); malformed or non-positive values
+    raise ``ValueError`` so every entry point rejects them at
+    parse/submit time.
+    """
+    value = config.extra.get("n_ranks", MPI_DEFAULT_N_RANKS)
+    try:
+        as_number = float(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"malformed n_ranks in config.extra (must be an integer), got {value!r}"
+        ) from None
+    n_ranks = int(as_number)
+    if n_ranks != as_number:
+        raise ValueError(
+            f"malformed n_ranks in config.extra (must be an integer), got {value!r}"
+        )
+    if n_ranks < 1:
+        raise ValueError(f"solver='mpi' needs n_ranks >= 1, got {n_ranks}")
+    return n_ranks
 
 
 def vlasov_grid_params(config: SimulationConfig) -> "tuple[int, float, float]":
@@ -300,6 +335,22 @@ def _build_energy(
     return EnergyConservingEnsemble(configs, rngs=rngs)
 
 
+def _mpi_validate(config: SimulationConfig) -> None:
+    _require_float64(config)
+    _pic_validate(config)
+    mpi_rank_params(config)
+
+
+def _build_mpi(
+    configs: "tuple[SimulationConfig, ...]",
+    dl_solver: "object | None" = None,
+    rngs: "Sequence[int | np.random.Generator | None] | None" = None,
+) -> Engine:
+    from repro.parallel.picparallel import MPIEnsemble
+
+    return MPIEnsemble(configs, rngs=rngs)
+
+
 def _vlasov_structural_key(config: SimulationConfig) -> Hashable:
     return tuple(
         getattr(config, name) for name in VLASOV_STRUCTURAL_FIELDS
@@ -359,4 +410,10 @@ register_engine(EngineSpec(
     build=_build_energy,
     structural_key=_pic_structural_key,
     validate=_energy_validate,
+))
+register_engine(EngineSpec(
+    name="mpi",
+    build=_build_mpi,
+    structural_key=_pic_structural_key,
+    validate=_mpi_validate,
 ))

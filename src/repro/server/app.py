@@ -144,8 +144,12 @@ class SimulationServer:
     service:
         An existing service to expose.  By default the server
         constructs (and owns, and closes) its own, running the
-        background worker — ``max_batch_size``, ``max_wait``, ``store``
-        and ``dl_solver`` configure it and are ignored otherwise.
+        background worker — ``max_batch_size``, ``max_wait``,
+        ``store``, ``dl_solver``, ``workers`` and ``model_dir``
+        configure it and are ignored otherwise (``workers > 1``
+        shards compatibility groups across spawned worker processes;
+        ``GET /v1/metrics`` then reports the pool gauges under
+        ``"pool"``).
     host, port:
         Bind address; port ``0`` picks a free ephemeral port
         (:attr:`url` reports the bound address after :meth:`start`).
@@ -181,6 +185,8 @@ class SimulationServer:
         max_wait: float = 0.005,
         store: "ResultStore | None" = None,
         dl_solver: "DLFieldSolver | None" = None,
+        workers: int = 1,
+        model_dir: "str | None" = None,
         on_result: "Callable[[RunRequest | None, RunResult], None] | None" = None,
         on_ready: "Callable[[SimulationServer], None] | None" = None,
     ) -> None:
@@ -195,7 +201,8 @@ class SimulationServer:
         if service is None:
             service = SimulationService(
                 max_batch_size=max_batch_size, max_wait=max_wait,
-                store=store, dl_solver=dl_solver, start=True,
+                store=store, dl_solver=dl_solver,
+                workers=workers, model_dir=model_dir, start=True,
             )
             self._owns_service = True
         else:
@@ -524,6 +531,9 @@ class SimulationServer:
             },
             "latency": self.metrics.latency_summary(),
             "service": service_stats,
+            # Executor-pool gauges: busy/idle workers, per-shard
+            # executed-run counts, group queue latency.
+            "pool": getattr(self.service, "executor_stats", {}),
         }
 
 

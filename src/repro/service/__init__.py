@@ -10,6 +10,14 @@ served result is bitwise identical to running its config alone; the
 """
 
 from repro.service.batcher import GROUP_FIELDS, MicroBatcher, PendingRequest, group_key
+from repro.service.executor import (
+    Executor,
+    GroupOutcome,
+    GroupTask,
+    GroupTimeoutError,
+    InlineExecutor,
+    ShardedExecutor,
+)
 from repro.service.requests import ServiceRequest, parse_request, read_requests
 from repro.service.service import (
     STATUS_CACHED,
@@ -29,6 +37,12 @@ __all__ = [
     "MicroBatcher",
     "PendingRequest",
     "group_key",
+    "Executor",
+    "GroupOutcome",
+    "GroupTask",
+    "GroupTimeoutError",
+    "InlineExecutor",
+    "ShardedExecutor",
     "ServiceRequest",
     "parse_request",
     "read_requests",

@@ -24,6 +24,14 @@ engine:
 * **in-flight dedup** — a second submit of a key that is currently
   queued or executing returns the *same* future (one engine row serves
   every duplicate requester).
+
+*Where* a ready group executes is delegated to an
+:class:`~repro.service.executor.Executor`: the default
+:class:`~repro.service.executor.InlineExecutor` runs it on the worker
+thread (the exact pre-pool path, bitwise unchanged), while
+``workers > 1`` shards groups across spawned processes through a
+:class:`~repro.service.executor.ShardedExecutor` — see
+``repro.service.executor``.
 """
 
 from __future__ import annotations
@@ -34,13 +42,16 @@ from concurrent.futures import Future, InvalidStateError
 from typing import TYPE_CHECKING
 
 from repro.config import SimulationConfig
-from repro.engines.base import make_engine, validate_engine_config
-from repro.engines.observables import (
-    Observables,
-    canonical_observables,
-    resolve_observables,
-)
+from repro.engines.base import validate_engine_config
+from repro.engines.observables import canonical_observables, resolve_observables
 from repro.service.batcher import MicroBatcher, PendingRequest
+from repro.service.executor import (
+    Executor,
+    GroupOutcome,
+    GroupTask,
+    InlineExecutor,
+    ShardedExecutor,
+)
 from repro.service.store import ResultStore, SimulationResult, result_key
 
 if TYPE_CHECKING:
@@ -76,6 +87,24 @@ class SimulationService:
         queue up until :meth:`flush` executes them on the caller's
         thread — deterministic, thread-free operation for tests and
         one-shot drains.
+    workers:
+        Execution parallelism.  ``1`` (default) keeps the inline
+        in-thread path, bitwise unchanged; ``N > 1`` shards ready
+        compatibility groups across ``N`` spawned worker processes
+        (:class:`~repro.service.executor.ShardedExecutor`).
+    model_dir:
+        Directory sharded workers rehydrate their ``DLFieldSolver``
+        from (required for ``solver="dl"`` requests when
+        ``workers > 1``; the in-memory ``dl_solver`` object cannot
+        cross process boundaries).
+    executor:
+        An explicit :class:`~repro.service.executor.Executor` to run
+        groups on, overriding ``workers`` (the caller keeps ownership
+        and closes it).
+    group_timeout:
+        Per-group execution deadline in seconds for the sharded
+        executor (``None`` = no deadline); an expired group resolves
+        its requests with a ``GroupTimeoutError``.
     """
 
     def __init__(
@@ -85,11 +114,30 @@ class SimulationService:
         store: "ResultStore | None" = None,
         dl_solver: "DLFieldSolver | None" = None,
         start: bool = True,
+        workers: int = 1,
+        model_dir: "str | None" = None,
+        executor: "Executor | None" = None,
+        group_timeout: "float | None" = None,
     ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.store = store if store is not None else ResultStore()
         self._batcher = MicroBatcher(max_batch_size=max_batch_size, max_wait=max_wait)
         self._dl_solver = dl_solver
         self._dl_fingerprint: "str | None" = None
+        self._model_dir = str(model_dir) if model_dir is not None else None
+        if executor is not None:
+            self._executor = executor
+            self._owns_executor = False
+        elif workers > 1:
+            self._executor = ShardedExecutor(
+                workers, model_dir=self._model_dir, group_timeout=group_timeout
+            )
+            self._owns_executor = True
+        else:
+            self._executor = InlineExecutor(dl_solver=dl_solver)
+            self._owns_executor = True
+        self._dispatched = 0  # groups handed to the executor, unsettled
         self._inflight: "dict[str, Future[SimulationResult]]" = {}
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
@@ -163,7 +211,11 @@ class SimulationService:
         cached = self.store.get(key)
         with self._wake:
             if self._closed:
-                raise RuntimeError("service is closed")
+                raise RuntimeError(
+                    "SimulationService is closed (close() was called, or the "
+                    "service was used as an exited context manager); create a "
+                    "new service to submit further requests"
+                )
             self._stats["requests"] += 1
             if cached is not None:
                 self._stats["cache_hits"] += 1
@@ -189,16 +241,25 @@ class SimulationService:
             return future, STATUS_QUEUED
 
     def flush(self) -> None:
-        """Execute every pending group now, on the calling thread.
+        """Execute every pending group now; returns once all resolved.
 
         Groups are popped under the lock and run without it, so a
         concurrent worker can keep serving other groups; with
-        ``start=False`` this is the only way requests execute.
+        ``start=False`` this is the only way requests execute.  With a
+        sharded executor the dispatched groups run in worker processes;
+        flush waits until every one of them has settled its futures.
         """
         with self._wake:
             groups = self._batcher.drain()
         for group in groups:
             self._execute(group)
+        self._wait_dispatched()
+
+    def _wait_dispatched(self) -> None:
+        """Block until every dispatched group has settled (pool drain)."""
+        with self._wake:
+            while self._dispatched:
+                self._wake.wait()
 
     @property
     def stats(self) -> dict[str, int]:
@@ -206,10 +267,22 @@ class SimulationService:
         with self._lock:
             out = dict(self._stats)
             out["pending"] = len(self._batcher)
+            out["dispatched"] = self._dispatched
+            out["workers"] = self._executor.workers
             out["store_hits"] = self.store.hits
             out["store_disk_hits"] = self.store.disk_hits
             out["store_misses"] = self.store.misses
         return out
+
+    @property
+    def executor(self) -> Executor:
+        """The executor running this service's groups (e.g. for ``warm()``)."""
+        return self._executor
+
+    @property
+    def executor_stats(self) -> "dict[str, object]":
+        """The executor's gauge snapshot (pool busy/idle, per-shard runs)."""
+        return self._executor.stats()
 
     @property
     def batch_size_histogram(self) -> "dict[int, int]":
@@ -218,7 +291,14 @@ class SimulationService:
             return dict(self._batch_sizes)
 
     def close(self) -> None:
-        """Drain pending work, resolve all futures, stop the worker."""
+        """Drain pending work, resolve all futures, stop the worker.
+
+        Already-queued groups are executed, not abandoned: the worker
+        (or a final :meth:`flush` in synchronous mode) drains the
+        batcher, then close waits for every dispatched group to settle
+        before shutting the executor down — no submitted future is
+        left forever pending.
+        """
         with self._wake:
             if self._closed:
                 return
@@ -229,6 +309,9 @@ class SimulationService:
             self._thread = None
         else:
             self.flush()
+        self._wait_dispatched()
+        if self._owns_executor:
+            self._executor.close()
 
     def __enter__(self) -> "SimulationService":
         return self
@@ -275,85 +358,102 @@ class SimulationService:
                 self._execute(group)
 
     def _execute(self, group: "list[PendingRequest]") -> None:
-        """Run one compatibility group through its registered engine.
+        """Hand one compatibility group to the executor.
 
         Never raises: engine failures travel to every requester via
-        their futures, and a result-store write failure degrades to a
-        cache miss rather than losing the run — the worker thread must
-        survive anything a group throws at it.
+        their futures — the worker thread must survive anything a
+        group throws at it.  With the inline executor the group runs
+        (and its futures settle) before this method returns, exactly
+        the pre-pool behavior; a sharded executor returns immediately
+        and :meth:`_finish_group` fires from the pool's callback
+        thread when the worker process delivers.
         """
-        configs = [request.config for request in group]
+        task = GroupTask(
+            configs=tuple(request.config.to_dict() for request in group),
+            solver=group[0].solver,
+            n_steps=group[0].config.n_steps,
+            observables=group[0].observables,
+            phase_space=tuple(request.phase_space for request in group),
+            model_dir=self._model_dir,
+        )
+        with self._wake:
+            self._dispatched += 1
         try:
-            spec = validate_engine_config(configs[0])
-            # One engine run records one pipeline: the group shares a
-            # canonical observables selection by construction (it is
-            # part of the batcher's bucket key).
-            pipeline = Observables(
-                resolve_observables(group[0].observables, spec.kind)
-            )
-            sim = make_engine(configs, dl_solver=self._dl_solver)
-            history = sim.run(configs[0].n_steps, history=pipeline)
-            series = history.as_arrays()
-        except Exception as exc:  # noqa: BLE001 — failures travel via futures
-            with self._lock:
-                self._stats["errors"] += 1
-                for request in group:
-                    self._inflight.pop(request.key, None)
-            for request in group:
-                self._resolve(request.future, exception=exc)
+            future = self._executor.submit(task)
+        except BaseException as exc:  # noqa: BLE001 — e.g. closed executor
+            self._fail_group(group, exc)
+            self._settle_dispatch()
             return
-        with self._lock:
-            self._stats["batches"] += 1
-            size = len(group)
-            self._batch_sizes[size] = self._batch_sizes.get(size, 0) + 1
+        future.add_done_callback(lambda f: self._finish_group(group, f))
+
+    def _finish_group(
+        self, group: "list[PendingRequest]", future: "Future[GroupOutcome]"
+    ) -> None:
+        """Turn one settled group outcome into per-request results."""
         try:
-            # Final phase-space state, captured once for the whole batch
-            # when any requester asked for it.
-            particles = getattr(sim, "particles", None)
-            v_integer = getattr(sim, "v_at_integer_time", None)
-            distribution = getattr(sim, "f", None)
-            for b, request in enumerate(group):
-                final_x = final_v = final_f = None
-                if request.phase_space:
-                    if particles is not None:
-                        final_x = particles.x[b].copy()
-                        final_v = v_integer[b].copy()
-                    elif distribution is not None:
-                        final_f = distribution[b].copy()
-                result = SimulationResult(
-                    key=request.key,
-                    config=request.config,
-                    solver=request.solver,
-                    series={
-                        name: (values.copy() if name == "time" else values[:, b].copy())
-                        for name, values in series.items()
-                    },
-                    efield=sim.efield[b].copy(),
-                    final_x=final_x,
-                    final_v=final_v,
-                    final_f=final_f,
-                )
-                try:
-                    # Thread-safe store; keep the (possibly compressed-npz)
-                    # write out of the service lock.  Stored before the
-                    # in-flight slot is released, so a concurrent submit of
-                    # this key always finds one or the other.
-                    self.store.put(result)
-                except Exception:  # noqa: BLE001 — the store is a cache, the run serves
-                    with self._lock:
-                        self._stats["store_errors"] += 1
-                with self._lock:
-                    self._inflight.pop(request.key, None)
-                    self._stats["executed_runs"] += 1
-                self._resolve(request.future, result=result)
-        except Exception as exc:  # noqa: BLE001 — e.g. MemoryError building results
+            exc = future.exception()
+            if exc is not None:
+                self._fail_group(group, exc)
+                return
+            outcome = future.result()
             with self._lock:
-                self._stats["errors"] += 1
-                for request in group:
-                    self._inflight.pop(request.key, None)
+                self._stats["batches"] += 1
+                size = len(group)
+                self._batch_sizes[size] = self._batch_sizes.get(size, 0) + 1
+            try:
+                self._deliver(group, outcome)
+            except Exception as deliver_exc:  # noqa: BLE001 — e.g. MemoryError
+                self._fail_group(group, deliver_exc)
+        finally:
+            self._settle_dispatch()
+
+    def _deliver(self, group: "list[PendingRequest]", outcome: GroupOutcome) -> None:
+        """Build, store and resolve one result per batched request."""
+        series = outcome.series
+        for b, request in enumerate(group):
+            result = SimulationResult(
+                key=request.key,
+                config=request.config,
+                solver=request.solver,
+                series={
+                    name: (values.copy() if name == "time" else values[:, b].copy())
+                    for name, values in series.items()
+                },
+                efield=outcome.efield[b].copy(),
+                final_x=outcome.final_x[b],
+                final_v=outcome.final_v[b],
+                final_f=outcome.final_f[b],
+            )
+            try:
+                # Thread-safe store; keep the (possibly compressed-npz)
+                # write out of the service lock.  Stored before the
+                # in-flight slot is released, so a concurrent submit of
+                # this key always finds one or the other.
+                self.store.put(result)
+            except Exception:  # noqa: BLE001 — the store is a cache, the run serves
+                with self._lock:
+                    self._stats["store_errors"] += 1
+            with self._lock:
+                self._inflight.pop(request.key, None)
+                self._stats["executed_runs"] += 1
+            self._resolve(request.future, result=result)
+
+    def _fail_group(
+        self, group: "list[PendingRequest]", exc: BaseException
+    ) -> None:
+        """Resolve every request of a failed group with the error."""
+        with self._lock:
+            self._stats["errors"] += 1
             for request in group:
-                # Already-resolved futures reject the exception harmlessly.
-                self._resolve(request.future, exception=exc)
+                self._inflight.pop(request.key, None)
+        for request in group:
+            # Already-resolved futures reject the exception harmlessly.
+            self._resolve(request.future, exception=exc)
+
+    def _settle_dispatch(self) -> None:
+        with self._wake:
+            self._dispatched -= 1
+            self._wake.notify_all()
 
     @staticmethod
     def _resolve(

@@ -18,7 +18,9 @@ transparently re-read from disk and promoted back.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import itertools
 import os
 import threading
 from collections import OrderedDict
@@ -34,9 +36,16 @@ from repro.utils.io import load_npz_dict, save_npz_dict
 
 # Built-in families; the authoritative list is the engine registry
 # (available_engines()), which user-registered families join.
-SOLVER_FAMILIES = ("traditional", "dl", "vlasov", "energy")
+SOLVER_FAMILIES = ("traditional", "dl", "vlasov", "energy", "mpi")
 
 _SERIES_PREFIX = "series_"
+
+# Per-process temp-file counter: combined with the pid it makes every
+# concurrent writer's temp name unique, so two threads (or two
+# processes) putting the same key can never interleave writes into one
+# temp file — each writes its own and the atomic rename settles the
+# race with some complete archive.
+_TMP_COUNTER = itertools.count()
 
 _DEFAULT_OBS_TOKEN = observables_token(canonical_observables(None))
 
@@ -236,9 +245,17 @@ class ResultStore:
         path = self._disk_path(result.key)
         # The temp name must keep the .npz suffix (numpy appends one
         # otherwise) for the atomic rename to find the file it wrote.
-        tmp = path.with_name(f".tmp-{os.getpid()}-{path.name}")
-        save_npz_dict(tmp, payload)
-        os.replace(tmp, path)
+        tmp = path.with_name(
+            f".tmp-{os.getpid()}-{next(_TMP_COUNTER)}-{path.name}"
+        )
+        try:
+            save_npz_dict(tmp, payload)
+            os.replace(tmp, path)
+        except BaseException:
+            # Never leave a stray temp file behind a failed write.
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
 
     @staticmethod
     def _load(key: str, path: Path) -> SimulationResult:

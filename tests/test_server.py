@@ -152,6 +152,10 @@ class TestHealthAndMetrics:
         assert 0.0 <= latency["p50_s"] <= latency["p99_s"] <= latency["max_s"]
         assert payload["http_responses"].get("200", 0) >= 1
         assert "service" in payload
+        pool = payload["pool"]
+        assert pool["kind"] == "inline"
+        assert pool["groups_executed"] >= 1
+        assert pool["runs_executed"] >= 1
 
 
 class TestRunEndpoint:

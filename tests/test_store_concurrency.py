@@ -1,0 +1,112 @@
+"""Concurrent writers on one store directory: atomicity and cleanliness."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service import ResultStore, SimulationService, result_key
+
+
+@pytest.fixture
+def produced_result(tiny_config):
+    with SimulationService(start=False) as service:
+        future = service.submit(tiny_config)
+        service.flush()
+        return future.result()
+
+
+class TestConcurrentSameKeyWriters:
+    def test_readers_never_observe_a_torn_archive(
+        self, produced_result, tmp_path
+    ):
+        """N threads hammer put() on one key while a reader polls the file.
+
+        Every successful read must deserialize to the complete result —
+        the atomic temp-file + rename protocol guarantees the on-disk
+        ``<key>.npz`` is always some writer's *finished* archive.
+        """
+        store_dir = tmp_path / "store"
+        writer_store = ResultStore(capacity=0, directory=store_dir)
+        reader_store = ResultStore(capacity=0, directory=store_dir)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def write_loop() -> None:
+            try:
+                while not stop.is_set():
+                    writer_store.put(produced_result)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        writers = [threading.Thread(target=write_loop) for _ in range(4)]
+        for thread in writers:
+            thread.start()
+        try:
+            reads = 0
+            while reads < 50:
+                loaded = reader_store.get(produced_result.key)
+                if loaded is None:
+                    continue
+                reads += 1
+                assert loaded.key == produced_result.key
+                for name, values in produced_result.series.items():
+                    assert np.array_equal(loaded.series[name], values), name
+                assert np.array_equal(loaded.efield, produced_result.efield)
+        finally:
+            stop.set()
+            for thread in writers:
+                thread.join(timeout=30)
+        assert not errors
+        # No writer leaked a temp file: after the dust settles the
+        # directory holds exactly the final archives.
+        leftovers = [p.name for p in store_dir.iterdir() if p.name.startswith(".tmp-")]
+        assert leftovers == []
+        assert (store_dir / f"{produced_result.key}.npz").exists()
+
+    def test_same_process_threads_get_distinct_temp_names(
+        self, produced_result, tmp_path, monkeypatch
+    ):
+        """Two threads in one pid must not share a temp path (the name
+        embeds a per-process counter, not just the pid)."""
+        from repro.service import store as store_module
+
+        store = ResultStore(capacity=0, directory=tmp_path)
+        seen: list[str] = []
+        original = store_module.os.replace
+
+        def spying_replace(src, dst):
+            seen.append(str(src))
+            return original(src, dst)
+
+        monkeypatch.setattr(store_module.os, "replace", spying_replace)
+        store.put(produced_result)
+        store.put(produced_result)
+        assert len(seen) == 2
+        assert seen[0] != seen[1]
+
+    def test_failed_write_leaves_no_temp_file(self, produced_result, tmp_path, monkeypatch):
+        from repro.service import store as store_module
+
+        store = ResultStore(capacity=0, directory=tmp_path)
+
+        def boom(path, payload):
+            # Simulate a writer dying after the temp file exists.
+            open(path, "wb").close()
+            raise OSError("disk full")
+
+        monkeypatch.setattr(store_module, "save_npz_dict", boom)
+        with pytest.raises(OSError, match="disk full"):
+            store.put(produced_result)
+        assert [p.name for p in tmp_path.iterdir()] == []
+
+
+class TestKeyedAddressing:
+    def test_result_is_stored_under_its_request_key(self, produced_result, tmp_path):
+        store = ResultStore(directory=tmp_path)
+        store.put(produced_result)
+        expected = result_key(produced_result.config, solver=produced_result.solver)
+        assert expected == produced_result.key
+        assert (tmp_path / f"{expected}.npz").exists()
