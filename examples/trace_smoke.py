@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""End-to-end tracing smoke: serve, trace one request, render the waterfall.
+
+Stands up the networked service with tracing on, sends one traced
+request through ``Client.connect(url, tracing=True)``, then checks the
+whole observability surface:
+
+* the result's ``timings`` carry the canonical stage breakdown
+  (``batch_wait_s`` / ``queue_wait_s`` / ``exec_s`` / ``store_s``) and
+  a ``trace_id``;
+* ``GET /v1/trace/<id>`` serves a valid span-tree JSON whose merged
+  tree spans client -> server -> executor -> engine steps;
+* the ``repro trace`` CLI renders that payload as a waterfall;
+* ``GET /v1/metrics?format=prometheus`` parses as text exposition.
+
+Run:  python examples/trace_smoke.py
+Exits non-zero on any failed check (used as a CI smoke step).
+"""
+
+import json
+import re
+import sys
+import urllib.request
+
+from repro.api import Client, RunRequest
+from repro.cli import main as repro_main
+from repro.config import SimulationConfig
+from repro.server import serve_in_thread
+
+REQUIRED_SPANS = {
+    "client.request", "client.http", "server.request", "service.submit",
+    "executor.dispatch", "executor.worker_run", "engine.run", "engine.steps",
+}
+STAGE_KEYS = {"wall_s", "batch_wait_s", "queue_wait_s", "exec_s", "store_s"}
+EXPOSITION_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.einf+-]+$"
+)
+
+
+def span_names(nodes, out=None):
+    out = out if out is not None else set()
+    for node in nodes:
+        out.add(node["name"])
+        span_names(node["children"], out)
+    return out
+
+
+def main() -> int:
+    config = SimulationConfig(
+        n_cells=32, particles_per_cell=20, n_steps=50, vth=0.01, seed=3
+    )
+    with serve_in_thread(max_batch_size=8, max_wait=0.005,
+                         tracing=True) as server:
+        print(f"serving with tracing on at {server.url}")
+        with Client.connect(server.url, tracing=True) as client:
+            result = client.run(RunRequest(config=config, id="smoke"))
+        assert result.status == "ok", result.error
+        assert STAGE_KEYS <= set(result.timings), sorted(result.timings)
+        trace_id = result.timings["trace_id"]
+        print(f"request ok; stage timings + trace id {trace_id}")
+
+        with urllib.request.urlopen(
+            f"{server.url}/v1/trace/{trace_id}"
+        ) as response:
+            payload = json.load(response)
+        assert payload["trace_id"] == trace_id
+        assert payload["complete"] is True
+        names = span_names(payload["spans"])
+        missing = REQUIRED_SPANS - names
+        assert not missing, f"span tree is missing {sorted(missing)}"
+        json.dumps(payload)  # the payload must be pure JSON
+        print(f"trace JSON valid: {payload['n_spans']} spans across "
+              f"{len(names)} distinct stages")
+
+        code = repro_main(["trace", trace_id, "--url", server.url])
+        assert code == 0, f"repro trace exited {code}"
+
+        with urllib.request.urlopen(
+            f"{server.url}/v1/metrics?format=prometheus"
+        ) as response:
+            text = response.read().decode()
+        for line in text.strip().splitlines():
+            if not line.startswith("#"):
+                assert EXPOSITION_LINE.match(line), f"bad exposition: {line!r}"
+        assert "repro_stage_duration_seconds_bucket" in text
+        print("prometheus exposition valid")
+    print("trace smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ from repro.api.envelope import (
     STATUS_SHED,
     STATUS_TIMEOUT,
     SUPPORTED_VERSIONS,
+    TIMING_KEYS,
     ApiError,
     RunRequest,
     RunResult,
@@ -39,6 +40,7 @@ __all__ = [
     "STATUS_SHED",
     "STATUS_TIMEOUT",
     "SUPPORTED_VERSIONS",
+    "TIMING_KEYS",
     "ApiError",
     "Client",
     "HttpTransport",

@@ -54,12 +54,14 @@ class Client:
         An explicit :class:`~repro.api.transport.Transport` to route
         requests through instead — mutually exclusive with ``service=``
         and the owned-service kwargs.  The client closes it.
-    max_batch_size, max_wait, store, dl_solver, workers, model_dir:
+    max_batch_size, max_wait, store, dl_solver, workers, model_dir, tracing:
         Forwarded to the owned service (ignored when ``service=`` or
         ``transport=`` is passed).  ``workers > 1`` shards ready
         compatibility groups across spawned worker processes;
         ``model_dir`` lets those workers rehydrate the DL solver for
-        ``solver="dl"`` requests.
+        ``solver="dl"`` requests; ``tracing=True`` records an
+        end-to-end span timeline per request (``timings["trace_id"]``
+        names it in ``client.service.tracer.buffer``).
     background:
         Service execution mode — see the module docstring.
     raise_on_error:
@@ -85,6 +87,7 @@ class Client:
         model_dir: "str | None" = None,
         background: bool = True,
         raise_on_error: bool = True,
+        tracing: bool = False,
     ) -> None:
         if transport is not None:
             if service is not None:
@@ -104,6 +107,7 @@ class Client:
                     workers=workers,
                     model_dir=model_dir,
                     start=background,
+                    tracing=tracing,
                 ),
                 owns_service=True,
             )
@@ -118,16 +122,25 @@ class Client:
         max_connections: int = 16,
         timeout: "float | None" = None,
         raise_on_error: bool = True,
+        tracing: bool = False,
     ) -> "Client":
         """A client speaking to a ``repro serve --listen`` server.
 
         ``url`` is the server base URL (``"http://host:port"``);
         ``max_connections`` bounds the concurrent persistent
         connections the underlying :class:`HttpTransport` opens.
+        ``tracing=True`` traces every request end to end: the trace id
+        travels in the ``X-Repro-Trace-Id`` header, and against a
+        ``--trace`` server the client ships its spans back so
+        ``/v1/trace/<id>`` (and ``repro trace``) shows the merged
+        client → server → worker timeline.
         """
         return cls(
             transport=HttpTransport(
-                url, max_connections=max_connections, timeout=timeout
+                url,
+                max_connections=max_connections,
+                timeout=timeout,
+                trace=tracing,
             ),
             raise_on_error=raise_on_error,
         )

@@ -39,6 +39,7 @@ field (plus the final phase space when requested), the content-address
 from __future__ import annotations
 
 import copy
+import math
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping, Sequence
@@ -88,6 +89,55 @@ RESULT_KEYS = (
     "submit_status", "timings", "config", "observables", "metadata", "tags",
     "error", "series", "efield", "final_x", "final_v", "final_f", "dtypes",
 )
+
+#: Keys a result's ``timings`` mapping may carry — the canonical stage
+#: breakdown (all seconds, measured where the stage happens) plus the
+#: request's trace id.  Explicit schema extension: ``from_dict``
+#: rejects unknown timing keys exactly like unknown envelope keys, so
+#: the breakdown can only grow deliberately.
+#:
+#: ``wall_s``       submit → resolution, observed by the client.
+#: ``batch_wait_s`` submit → group dispatch (micro-batch coalescing).
+#: ``queue_wait_s`` dispatch → execution start (executor queue + IPC).
+#: ``exec_s``       the engine call itself (whole group, in-worker).
+#: ``store_s``      result-store lookup + write-through.
+TIMING_KEYS = (
+    "wall_s", "batch_wait_s", "queue_wait_s", "exec_s", "store_s", "trace_id",
+)
+
+
+def _check_timings(timings: Any) -> "dict[str, Any]":
+    """Validate a ``timings`` mapping (strict keys, finite values)."""
+    if not isinstance(timings, Mapping):
+        raise ValueError(
+            f"result timings must be a JSON object, got {type(timings).__name__}"
+        )
+    unknown = sorted(set(timings) - set(TIMING_KEYS))
+    if unknown:
+        raise ValueError(
+            f"unknown timing key(s) {', '.join(map(repr, unknown))}; "
+            f"valid keys: {', '.join(TIMING_KEYS)}"
+        )
+    out: "dict[str, Any]" = {}
+    for key, value in timings.items():
+        if key == "trace_id":
+            if not isinstance(value, str):
+                raise ValueError(
+                    f"timing key 'trace_id' must be a string, got "
+                    f"{type(value).__name__}"
+                )
+            out[key] = value
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(
+                f"timing key {key!r} must be a number, got {type(value).__name__}"
+            )
+        if not math.isfinite(value):
+            raise ValueError(
+                f"timing key {key!r} must be finite, got {value!r}"
+            )
+        out[key] = float(value)
+    return out
 
 
 def _check_api_version(version: object) -> str:
@@ -289,8 +339,10 @@ class RunResult:
     message); ``submit_status`` reports how the service met the request
     (``queued`` / ``cached`` / ``inflight``) and ``cache_hit`` whether
     it was answered from the content-addressed store without executing.
-    ``timings`` currently reports ``{"wall_s": ...}`` — the wall-clock
-    seconds between submit and resolution as observed by the client.
+    ``timings`` carries the canonical stage breakdown (``wall_s`` as
+    observed by the client plus the service-side ``batch_wait_s`` /
+    ``queue_wait_s`` / ``exec_s`` / ``store_s`` stages and, for traced
+    requests, the ``trace_id``) — see :data:`TIMING_KEYS`.
     """
 
     id: str
@@ -477,7 +529,7 @@ class RunResult:
             key=obj.get("key"),
             cache_hit=bool(obj.get("cache_hit", False)),
             submit_status=obj.get("submit_status", ""),
-            timings=dict(obj.get("timings", {})),
+            timings=_check_timings(obj.get("timings", {})),
             metadata=dict(obj.get("metadata", {})),
             tags=tuple(obj.get("tags", ())),
             error=obj.get("error"),
@@ -555,7 +607,16 @@ class RunResult:
         submit_status: str,
         wall_s: "float | None" = None,
     ) -> "RunResult":
-        """Wrap a service-layer result in the public schema."""
+        """Wrap a service-layer result in the public schema.
+
+        The service's per-delivery stage breakdown (``batch_wait_s``,
+        ``queue_wait_s``, ``exec_s``, ``store_s``, ``trace_id``) is
+        carried over from ``served.timings``; ``wall_s`` — the only
+        client-observed stage — is stamped on top.
+        """
+        timings = dict(getattr(served, "timings", None) or {})
+        if wall_s is not None:
+            timings["wall_s"] = wall_s
         return cls(
             id=request.id,
             status=STATUS_OK,
@@ -570,7 +631,7 @@ class RunResult:
             key=served.key,
             cache_hit=submit_status == "cached",
             submit_status=submit_status,
-            timings={"wall_s": wall_s} if wall_s is not None else {},
+            timings=timings,
             metadata=dict(request.metadata),
             tags=request.tags,
         )

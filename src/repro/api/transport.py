@@ -30,6 +30,7 @@ from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.api.envelope import RunRequest, RunResult, now
+from repro.obs.trace import NOOP_TRACER, PARENT_HEADER, TRACE_HEADER, Tracer
 
 if TYPE_CHECKING:
     from repro.service.store import SimulationResult
@@ -77,19 +78,42 @@ class InProcessTransport:
         self.service = service
         self._owns_service = owns_service
 
-    def submit(self, request: RunRequest) -> "Future[RunResult]":
+    def submit(
+        self,
+        request: RunRequest,
+        *,
+        trace: "object | None" = None,
+        parent_id: "str | None" = None,
+    ) -> "Future[RunResult]":
         submitted = now()
         outer: "Future[RunResult]" = Future()
+        # When the service has tracing on and no caller-provided trace
+        # context arrives (the HTTP server passes its own), the client
+        # side of the trace starts here: a ``client.request`` root span
+        # that every service span nests under.
+        root = None
+        if trace is None:
+            tracer = getattr(self.service, "tracer", None) or NOOP_TRACER
+            if tracer.enabled:
+                trace = tracer.start_trace("request")
+                root = trace.start_span("client.request")
+                parent_id = root.span_id
         try:
             inner, status = self.service.submit_with_status(
                 request.config,
                 observables=request.observables,
                 phase_space=request.phase_space,
+                trace=trace,
+                parent_id=parent_id,
             )
         except (ValueError, RuntimeError) as exc:
             # Submit-time rejections (unservable config, closed service)
             # ride the same error-result path as execution failures, so
             # one bad request in a map() cannot break the gather.
+            if root:
+                root.set_attribute("error", f"{type(exc).__name__}: {exc}").finish()
+            if trace:
+                trace.finish()
             outer.set_result(RunResult.from_error(request, exc, wall_s=now() - submitted))
             return outer
 
@@ -99,8 +123,18 @@ class InProcessTransport:
                 served = done.result()
             except BaseException as exc:  # noqa: BLE001 — travels in the result
                 result = RunResult.from_error(request, exc, status, wall)
+                if root:
+                    root.set_attribute("error", f"{type(exc).__name__}: {exc}")
             else:
                 result = RunResult.from_service(request, served, status, wall)
+            if root:
+                root.finish()
+            if trace:
+                # A deduplicated requester receives a result executed
+                # under another request's trace; its own trace id wins
+                # in its copy of the envelope.
+                result.timings["trace_id"] = trace.trace_id
+                trace.finish()
             try:
                 outer.set_result(result)
             except InvalidStateError:
@@ -149,6 +183,14 @@ class HttpTransport:
         Client-side socket timeout per request (seconds); ``None``
         waits indefinitely.  Distinct from the *server's* per-request
         execution timeout, which returns a ``timeout``-status result.
+    trace:
+        Trace every request end to end (default off).  The transport
+        opens a client-side trace, forwards its id in the
+        ``X-Repro-Trace-Id`` header so a ``--trace`` server adopts it,
+        and after the response ships its client-side spans to the
+        server (``POST /v1/trace/<id>/spans``) so ``/v1/trace/<id>``
+        renders the merged client + server + worker span tree.  The
+        client half is also buffered locally in ``transport.tracer``.
     """
 
     def __init__(
@@ -157,6 +199,7 @@ class HttpTransport:
         *,
         max_connections: int = 16,
         timeout: "float | None" = None,
+        trace: bool = False,
     ) -> None:
         parsed = urllib.parse.urlsplit(url)
         if parsed.scheme != "http" or not parsed.hostname:
@@ -171,6 +214,7 @@ class HttpTransport:
         self._host = parsed.hostname
         self._port = parsed.port or 80
         self._timeout = timeout
+        self.tracer = Tracer() if trace else NOOP_TRACER
         self._local = threading.local()
         self._closed = False
         self._conns: "set[http.client.HTTPConnection]" = set()
@@ -196,14 +240,21 @@ class HttpTransport:
         return conn
 
     def request(
-        self, method: str, path: str, body: "bytes | None" = None
+        self,
+        method: str,
+        path: str,
+        body: "bytes | None" = None,
+        headers: "dict[str, str] | None" = None,
     ) -> "tuple[int, bytes]":
         """One HTTP round trip on this thread's persistent connection.
 
         Retries once on a fresh connection when the kept-alive socket
         turns out to be stale (server closed it between requests).
         """
-        headers = {"Content-Type": "application/json"} if body is not None else {}
+        merged = {"Content-Type": "application/json"} if body is not None else {}
+        if headers:
+            merged.update(headers)
+        headers = merged
         for attempt in (0, 1):
             conn = self._connection(fresh=attempt > 0)
             try:
@@ -224,16 +275,63 @@ class HttpTransport:
     # -- the transport surface -------------------------------------------
     def _roundtrip(self, request: RunRequest, submitted: float) -> RunResult:
         body = json.dumps(request.to_dict()).encode()
+        trace = (
+            self.tracer.start_trace("request") if self.tracer.enabled else None
+        )
+        root = trace.start_span("client.request") if trace else None
+        headers = None
+        http_span = None
+        if trace:
+            http_span = trace.start_span("client.http", parent_id=root.span_id)
+            headers = {
+                TRACE_HEADER: trace.trace_id,
+                PARENT_HEADER: http_span.span_id,
+            }
         try:
-            status, data = self.request("POST", "/v1/run", body)
+            status, data = self.request("POST", "/v1/run", body, headers=headers)
+            if http_span:
+                http_span.finish()
             payload = json.loads(data)
             if not isinstance(payload, dict) or "status" not in payload:
                 raise ValueError(
                     f"server returned HTTP {status} with a non-result body"
                 )
-            return RunResult.from_dict(payload)
+            result = RunResult.from_dict(payload)
         except Exception as exc:  # noqa: BLE001 — travels in the result
+            if trace:
+                if http_span:
+                    http_span.finish()
+                root.set_attribute("error", f"{type(exc).__name__}: {exc}").finish()
+                trace.finish()
             return RunResult.from_error(request, exc, wall_s=now() - submitted)
+        if trace:
+            root.finish()
+            result.timings["trace_id"] = trace.trace_id
+            self._ship_spans(trace)
+            trace.finish()
+        return result
+
+    def _ship_spans(self, trace: object) -> None:
+        """Best-effort: send the client half of a trace to the server.
+
+        Spans go in wire format with ``start_s`` relative to the
+        client root span's start; the server re-anchors them against
+        its own ``server.request`` span (which the ``X-Repro-*``
+        headers linked under our ``client.http`` span) and merges them
+        into the buffered trace, so ``GET /v1/trace/<id>`` shows the
+        full client → server → worker timeline.
+        """
+        spans = trace.span_dicts()
+        if not spans:
+            return
+        try:
+            self.request(
+                "POST",
+                f"/v1/trace/{trace.trace_id}/spans",
+                json.dumps({"spans": spans}).encode(),
+            )
+        except (OSError, ValueError, http.client.HTTPException):
+            pass  # telemetry must never fail a request
 
     def submit(self, request: RunRequest) -> "Future[RunResult]":
         submitted = now()

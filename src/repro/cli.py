@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Seven subcommands mirror the library's main workflows::
+Eight subcommands mirror the library's main workflows::
 
     python -m repro.cli simulate   # run a traditional PIC two-stream sim
     python -m repro.cli sweep      # run a batched ensemble of scenarios
     python -m repro.cli serve      # drain JSONL requests through the service
+    python -m repro.cli trace      # render a recorded request trace
     python -m repro.cli scenarios  # list registered initial conditions
     python -m repro.cli dataset    # generate a training campaign
     python -m repro.cli train      # train the DL solvers (Sec. IV pipeline)
@@ -133,6 +134,35 @@ def _add_serve(sub: "argparse._SubParsersAction") -> None:
                         "expired request answers HTTP 504 (status 'timeout')")
     p.add_argument("--max-connections", type=int, default=128,
                    help="listen mode: concurrent-connection bound (excess get 503)")
+    p.add_argument("--trace", action="store_true",
+                   help="record an end-to-end span timeline per request; inspect "
+                        "with 'repro trace' (listen mode serves GET /v1/trace/<id>, "
+                        "drain mode saves the timelines into --manifest)")
+
+
+def _add_trace(sub: "argparse._SubParsersAction") -> None:
+    p = sub.add_parser(
+        "trace",
+        help="render a recorded request trace as a span waterfall",
+        description=(
+            "Render the span timeline of one traced request — which stages "
+            "(client HTTP, server, batching, executor queue, engine steps) the "
+            "wall-clock went to.  Traces come from a 'repro serve --listen "
+            "--trace' server (fetched live from GET /v1/trace/<id>) or from a "
+            "'repro serve --trace --manifest' drain manifest."
+        ),
+    )
+    p.add_argument("trace_id", nargs="?", default=None,
+                   help="the trace id (a result's timings['trace_id']); omitted "
+                        "= the most recently completed trace")
+    p.add_argument("--url", default=None, metavar="URL",
+                   help="base URL of a live --trace server "
+                        "(default http://127.0.0.1:8787)")
+    p.add_argument("--manifest", default=None,
+                   help="read the trace from this drain-mode manifest instead "
+                        "of a live server")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw span-tree JSON instead of the waterfall")
 
 
 def _add_scenarios(sub: "argparse._SubParsersAction") -> None:
@@ -176,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_simulate(sub)
     _add_sweep(sub)
     _add_serve(sub)
+    _add_trace(sub)
     _add_scenarios(sub)
     _add_dataset(sub)
     _add_train(sub)
@@ -404,6 +435,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch_size=args.max_batch, max_wait=args.max_wait,
         store=store, dl_solver=dl_solver, raise_on_error=False,
         workers=args.workers, model_dir=args.model_dir,
+        tracing=args.trace,
     ) as client:
         try:
             results = client.map(requests)
@@ -411,6 +443,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         stats = client.stats
+        traces = []
+        if args.trace:
+            buffer = client.service.tracer.buffer
+            traces = [
+                trace.to_payload()
+                for trace in map(buffer.get, buffer.ids())
+                if trace is not None
+            ]
     elapsed = time.perf_counter() - start
     entries = []
     n_failed = 0
@@ -443,6 +483,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "stats": {**stats, "elapsed_s": elapsed},
             "store_directory": args.store,
         }
+        if args.trace:
+            # Full span timelines per request; 'repro trace --manifest'
+            # renders them as waterfalls offline.
+            manifest["traces"] = traces
         with open(args.manifest, "w") as fh:
             json.dump(manifest, fh, indent=2)
         print(f"manifest saved to {args.manifest}")
@@ -485,12 +529,15 @@ def _cmd_serve_listen(args: argparse.Namespace) -> int:
     def on_ready(server: "SimulationServer") -> None:
         timeout = (f"{args.request_timeout:g}s" if args.request_timeout is not None
                    else "none")
-        print(f"listening on {server.url}  "
-              f"(POST /v1/run, POST /v1/batch, GET /v1/health, GET /v1/metrics)")
+        endpoints = "POST /v1/run, POST /v1/batch, GET /v1/health, GET /v1/metrics"
+        if args.trace:
+            endpoints += ", GET /v1/trace/<id>"
+        print(f"listening on {server.url}  ({endpoints})")
         print(f"max_batch={args.max_batch} max_wait={args.max_wait:g}s "
               f"workers={args.workers} "
               f"max_pending={args.max_pending} request_timeout={timeout} "
-              f"max_connections={args.max_connections}")
+              f"max_connections={args.max_connections} "
+              f"trace={'on' if args.trace else 'off'}")
         print(_SERVE_HEADER, flush=True)
 
     def on_result(request, result) -> None:
@@ -505,6 +552,7 @@ def _cmd_serve_listen(args: argparse.Namespace) -> int:
         max_batch_size=args.max_batch, max_wait=args.max_wait,
         store=store, dl_solver=dl_solver,
         workers=args.workers, model_dir=args.model_dir,
+        tracing=args.trace,
         on_result=on_result, on_ready=on_ready,
     )
     try:
@@ -517,6 +565,75 @@ def _cmd_serve_listen(args: argparse.Namespace) -> int:
           f"({stats['batches']} engine batches, {stats['executed_runs']} runs "
           f"executed, {stats['cache_hits']} store hits, "
           f"{stats['dedup_hits']} in-flight dedups)")
+    return 0
+
+
+def _trace_from_manifest(args: argparse.Namespace) -> "dict | None":
+    """Pick the requested trace payload out of a drain-mode manifest."""
+    try:
+        with open(args.manifest) as fh:
+            manifest = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read manifest {args.manifest!r}: {exc}",
+              file=sys.stderr)
+        return None
+    traces = manifest.get("traces") or []
+    if not traces:
+        print("error: the manifest records no traces "
+              "(drain with 'repro serve --trace --manifest ...')", file=sys.stderr)
+        return None
+    if args.trace_id is None:
+        return traces[-1]
+    by_id = {trace.get("trace_id"): trace for trace in traces}
+    payload = by_id.get(args.trace_id)
+    if payload is None:
+        print(f"error: trace {args.trace_id!r} is not in the manifest "
+              f"({len(traces)} trace(s) recorded)", file=sys.stderr)
+    return payload
+
+
+def _trace_from_server(args: argparse.Namespace) -> "dict | None":
+    """Fetch the requested trace from a live ``--trace`` server."""
+    import urllib.error
+    import urllib.request
+
+    url = args.url or "http://127.0.0.1:8787"
+    if "://" not in url:
+        url = f"http://{url}"
+    target = f"{url.rstrip('/')}/v1/trace/{args.trace_id or 'last'}"
+    try:
+        with urllib.request.urlopen(target) as response:
+            return json.load(response)
+    except urllib.error.HTTPError as exc:
+        body = exc.read()
+        try:
+            message = json.loads(body)["error"]
+        except (ValueError, KeyError, TypeError):
+            message = body.decode(errors="replace").strip()
+        print(f"error: server answered HTTP {exc.code}: {message}", file=sys.stderr)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot fetch {target!r}: {exc} "
+              f"(is a 'repro serve --listen ... --trace' server up?)",
+              file=sys.stderr)
+    return None
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import render_waterfall
+
+    if args.manifest is not None and args.url is not None:
+        print("error: pass either --manifest or --url, not both", file=sys.stderr)
+        return 2
+    if args.manifest is not None:
+        payload = _trace_from_manifest(args)
+    else:
+        payload = _trace_from_server(args)
+    if payload is None:
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_waterfall(payload))
     return 0
 
 
@@ -612,6 +729,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
     "serve": _cmd_serve,
+    "trace": _cmd_trace,
     "scenarios": _cmd_scenarios,
     "dataset": _cmd_dataset,
     "train": _cmd_train,

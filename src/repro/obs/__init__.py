@@ -1,0 +1,57 @@
+"""Observability: end-to-end request tracing + telemetry rendering.
+
+Stdlib-only (no third-party dependencies, no numpy) so every layer of
+the stack — client transports, the asyncio server, the service worker
+thread and spawned executor workers — can import it without cost.
+
+Three pieces:
+
+* :mod:`repro.obs.trace` — the ``Trace``/``Span`` API: context-manager
+  spans with monotonic timings, nested parent ids and bounded per-span
+  attributes, collected per trace and kept in a process-wide bounded
+  :class:`TraceBuffer` ring.  The module-level :data:`NOOP_TRACER` is
+  the zero-cost default; a real :class:`Tracer` is switched in via
+  ``SimulationService(tracing=True)`` / ``repro serve --trace``.
+* :mod:`repro.obs.prometheus` — bounded duration histograms plus a
+  renderer turning the server's ``/v1/metrics`` JSON snapshot into
+  Prometheus text exposition format.
+* :mod:`repro.obs.waterfall` — the ``repro trace`` inspector's span
+  timeline rendering (per-span bars, durations and percentages).
+"""
+
+from repro.obs.prometheus import DurationHistogram, render_prometheus
+from repro.obs.trace import (
+    NOOP_TRACE,
+    NOOP_TRACER,
+    PARENT_HEADER,
+    TRACE_HEADER,
+    NoopTracer,
+    Span,
+    Trace,
+    TraceBuffer,
+    Tracer,
+    new_span_id,
+    new_trace_id,
+    span_tree,
+    spans_from_wire,
+)
+from repro.obs.waterfall import render_waterfall
+
+__all__ = [
+    "NOOP_TRACE",
+    "NOOP_TRACER",
+    "PARENT_HEADER",
+    "TRACE_HEADER",
+    "DurationHistogram",
+    "NoopTracer",
+    "Span",
+    "Trace",
+    "TraceBuffer",
+    "Tracer",
+    "new_span_id",
+    "new_trace_id",
+    "render_prometheus",
+    "render_waterfall",
+    "span_tree",
+    "spans_from_wire",
+]

@@ -1,0 +1,249 @@
+"""Duration histograms and Prometheus text exposition rendering.
+
+:class:`DurationHistogram` is a fixed-log-bucket, thread-safe duration
+accumulator used by the server for per-stage timing distributions.
+:func:`render_prometheus` turns the server's ``/v1/metrics`` JSON
+snapshot into Prometheus text exposition format (version 0.0.4) — the
+JSON snapshot stays the canonical schema; this is a pure rendering of
+it, so the two can never drift apart.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping
+
+__all__ = ["DEFAULT_BUCKETS", "DurationHistogram", "render_prometheus"]
+
+#: Log-spaced duration buckets (seconds) covering sub-ms engine steps
+#: through multi-second queue waits.  Upper bounds, cumulative, +Inf
+#: bucket implied.
+DEFAULT_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class DurationHistogram:
+    """Cumulative-bucket duration histogram (Prometheus semantics)."""
+
+    def __init__(self, buckets=DEFAULT_BUCKETS):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("DurationHistogram needs at least one bucket bound")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf overflow
+        self.count = 0
+        self.sum_s = 0.0
+        self.max_s = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value):
+        value = float(value)
+        if value < 0.0 or value != value:  # negative or NaN: not a duration
+            return
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.sum_s += value
+            if value > self.max_s:
+                self.max_s = value
+
+    def snapshot(self):
+        """JSON-friendly cumulative view: ``{"0.001": n, ..., "inf": n}``."""
+
+        with self._lock:
+            counts = list(self._counts)
+            total, sum_s, max_s = self.count, self.sum_s, self.max_s
+        buckets = {}
+        running = 0
+        for bound, n in zip(self.bounds, counts):
+            running += n
+            buckets[format(bound, "g")] = running
+        buckets["inf"] = total
+        return {"count": total, "sum_s": sum_s, "max_s": max_s, "buckets": buckets}
+
+
+def _escape_label(value) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _num(value):
+    """Format a metric value; returns None for non-numeric input."""
+
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+class _Writer:
+    def __init__(self):
+        self.lines = []
+
+    def header(self, name, kind, help_text):
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {kind}")
+
+    def sample(self, name, value, labels=None):
+        rendered = _num(value)
+        if rendered is None:
+            return
+        if labels:
+            inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in labels.items())
+            self.lines.append(f"{name}{{{inner}}} {rendered}")
+        else:
+            self.lines.append(f"{name} {rendered}")
+
+    def text(self):
+        return "\n".join(self.lines) + "\n"
+
+
+def _flat_gauges(writer, prefix, mapping, help_text):
+    """Emit each numeric leaf of ``mapping`` as ``<prefix>_<key>``."""
+
+    for key, value in mapping.items():
+        if _num(value) is None:
+            continue
+        name = f"{prefix}_{key}"
+        writer.header(name, "gauge", f"{help_text} ({key}).")
+        writer.sample(name, value)
+
+
+def render_prometheus(snapshot: Mapping) -> str:
+    """Render a ``/v1/metrics`` JSON snapshot as Prometheus text."""
+
+    w = _Writer()
+
+    requests = snapshot.get("requests", {})
+    w.header("repro_requests_total", "counter", "Run requests received.")
+    w.sample("repro_requests_total", requests.get("total", 0))
+    by_endpoint = requests.get("by_endpoint", {})
+    if by_endpoint:
+        w.header(
+            "repro_requests_by_endpoint_total", "counter", "Run requests per endpoint."
+        )
+        for endpoint, count in sorted(by_endpoint.items()):
+            w.sample(
+                "repro_requests_by_endpoint_total", count, {"endpoint": endpoint}
+            )
+    by_status = requests.get("by_status", {})
+    if by_status:
+        w.header(
+            "repro_requests_by_status_total", "counter", "Run requests per outcome."
+        )
+        for status, count in sorted(by_status.items()):
+            w.sample("repro_requests_by_status_total", count, {"status": status})
+
+    parse_failures = snapshot.get("parse_failures", {})
+    w.header(
+        "repro_parse_failures_total",
+        "counter",
+        "Requests rejected before execution (unparseable payloads).",
+    )
+    w.sample("repro_parse_failures_total", parse_failures.get("total", 0))
+    by_endpoint = parse_failures.get("by_endpoint", {})
+    if by_endpoint:
+        w.header(
+            "repro_parse_failures_by_endpoint_total",
+            "counter",
+            "Parse failures per endpoint.",
+        )
+        for endpoint, count in sorted(by_endpoint.items()):
+            w.sample(
+                "repro_parse_failures_by_endpoint_total",
+                count,
+                {"endpoint": endpoint},
+            )
+
+    http = snapshot.get("http_responses", {})
+    if http:
+        w.header("repro_http_responses_total", "counter", "HTTP responses per code.")
+        for code, count in sorted(http.items()):
+            w.sample("repro_http_responses_total", count, {"code": code})
+
+    connections = snapshot.get("connections", {})
+    if connections:
+        _flat_gauges(w, "repro_connections", connections, "Connection gauge")
+    queue = snapshot.get("queue", {})
+    if queue:
+        _flat_gauges(w, "repro_queue", queue, "Admission queue gauge")
+
+    if _num(snapshot.get("cache_hit_ratio")) is not None:
+        w.header("repro_cache_hit_ratio", "gauge", "Result-store hit ratio.")
+        w.sample("repro_cache_hit_ratio", snapshot["cache_hit_ratio"])
+
+    batches = snapshot.get("batch_size_histogram", {})
+    if batches:
+        w.header(
+            "repro_batch_size_total", "counter", "Executed batches per batch size."
+        )
+        for size, count in sorted(batches.items(), key=lambda kv: int(kv[0])):
+            w.sample("repro_batch_size_total", count, {"size": size})
+
+    latency = snapshot.get("latency", {})
+    if latency:
+        w.header(
+            "repro_request_latency_seconds",
+            "summary",
+            "Executed-request latency quantiles.",
+        )
+        for key, quantile in (("p50_s", "0.5"), ("p90_s", "0.9"), ("p99_s", "0.99")):
+            if _num(latency.get(key)) is not None:
+                w.sample(
+                    "repro_request_latency_seconds",
+                    latency[key],
+                    {"quantile": quantile},
+                )
+        w.sample("repro_request_latency_seconds_count", latency.get("count", 0))
+        if _num(latency.get("max_s")) is not None:
+            w.header(
+                "repro_request_latency_seconds_max",
+                "gauge",
+                "Executed-request latency max over the reservoir window.",
+            )
+            w.sample("repro_request_latency_seconds_max", latency["max_s"])
+
+    stages = snapshot.get("stages", {})
+    if stages:
+        w.header(
+            "repro_stage_duration_seconds",
+            "histogram",
+            "Per-request stage durations (seconds).",
+        )
+    for stage, hist in sorted(stages.items()):
+        if not isinstance(hist, Mapping):
+            continue
+        name = "repro_stage_duration_seconds"
+        for le, count in hist.get("buckets", {}).items():
+            label_le = "+Inf" if le == "inf" else le
+            w.sample(f"{name}_bucket", count, {"stage": stage, "le": label_le})
+        w.sample(f"{name}_sum", hist.get("sum_s", 0.0), {"stage": stage})
+        w.sample(f"{name}_count", hist.get("count", 0), {"stage": stage})
+
+    service = snapshot.get("service", {})
+    if isinstance(service, Mapping):
+        _flat_gauges(w, "repro_service", service, "Service gauge")
+    pool = snapshot.get("pool", {})
+    if isinstance(pool, Mapping):
+        _flat_gauges(w, "repro_pool", pool, "Executor pool gauge")
+    traces = snapshot.get("traces", {})
+    if isinstance(traces, Mapping):
+        _flat_gauges(w, "repro_traces", traces, "Trace buffer gauge")
+
+    return w.text()

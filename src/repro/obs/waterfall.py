@@ -1,0 +1,88 @@
+"""Span-timeline ("waterfall") rendering for the ``repro trace`` CLI.
+
+Takes the JSON payload served by ``GET /v1/trace/<id>`` (or embedded
+in a drain-mode manifest) and renders a plain-text timeline: one row
+per span with its duration, share of the trace, and a bracketed bar
+positioned on the trace's time axis.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+__all__ = ["render_waterfall"]
+
+_BAR_WIDTH = 40
+_MAX_ATTRS_SHOWN = 4
+
+
+def _flatten(nodes, depth=0, out=None):
+    if out is None:
+        out = []
+    for node in nodes:
+        out.append((depth, node))
+        _flatten(node.get("children", ()), depth + 1, out)
+    return out
+
+
+def _attr_suffix(span: Mapping) -> str:
+    attrs = span.get("attributes") or {}
+    if not attrs:
+        return ""
+    parts = []
+    for key, value in list(attrs.items())[:_MAX_ATTRS_SHOWN]:
+        if isinstance(value, float):
+            value = format(value, ".4g")
+        parts.append(f"{key}={value}")
+    return "  (" + ", ".join(parts) + ")"
+
+
+def _bar(start_s, duration_s, total_s) -> str:
+    if total_s <= 0.0:
+        return "[" + " " * _BAR_WIDTH + "]"
+    left = int(round(start_s / total_s * _BAR_WIDTH))
+    left = min(left, _BAR_WIDTH - 1)
+    width = int(round(duration_s / total_s * _BAR_WIDTH))
+    width = max(1, min(width, _BAR_WIDTH - left))
+    return "[" + " " * left + "=" * width + " " * (_BAR_WIDTH - left - width) + "]"
+
+
+def render_waterfall(payload: Mapping) -> str:
+    """Render a trace payload as a multi-line waterfall string."""
+
+    spans = _flatten(payload.get("spans", ()))
+    total_s = float(payload.get("duration_s", 0.0))
+    if total_s <= 0.0:
+        total_s = max(
+            (node["start_s"] + node["duration_s"] for _, node in spans), default=0.0
+        )
+
+    header = (
+        f"trace {payload.get('trace_id', '?')}  "
+        f"{payload.get('name', 'request')}  "
+        f"{payload.get('n_spans', len(spans))} spans  "
+        f"total {total_s * 1e3:.2f} ms"
+    )
+    dropped = payload.get("dropped_spans", 0)
+    if dropped:
+        header += f"  ({dropped} spans dropped)"
+    lines = [header]
+    if not spans:
+        lines.append("(no spans recorded)")
+        return "\n".join(lines)
+
+    names = [("  " * depth + node["name"]) for depth, node in spans]
+    name_width = max(len(name) for name in names)
+    name_width = max(name_width, len("span"))
+    lines.append(
+        f"{'span':<{name_width}}  {'ms':>10}  {'%':>6}  timeline"
+    )
+    for name, (_, node) in zip(names, spans):
+        duration = float(node.get("duration_s", 0.0))
+        start = float(node.get("start_s", 0.0))
+        share = (duration / total_s * 100.0) if total_s > 0.0 else 0.0
+        lines.append(
+            f"{name:<{name_width}}  {duration * 1e3:>10.2f}  {share:>6.1f}  "
+            f"{_bar(start, duration, total_s)}{_attr_suffix(node)}"
+        )
+    return "\n".join(lines)

@@ -15,7 +15,16 @@ v1 envelope on four endpoints:
 ``GET /v1/health``       liveness: status, drain flag, in-flight count
 ``GET /v1/metrics``      request counts by endpoint and terminal
                          status, cache-hit ratio, queue depth,
-                         batch-size histogram, latency percentiles
+                         batch-size histogram, latency percentiles,
+                         per-stage duration histograms;
+                         ``?format=prometheus`` renders the same
+                         snapshot as Prometheus text exposition
+``GET /v1/trace``        ids of recently completed traces (requires
+                         ``tracing=True`` / ``repro serve --trace``)
+``GET /v1/trace/<id>``   one trace as a span-tree JSON payload
+                         (``<id>`` may be ``last``)
+``POST /v1/trace/<id>/spans``  a remote client ships its half of a
+                         trace; spans are re-anchored and merged
 =======================  =============================================
 
 On top of the in-process service the server adds the robustness layer
@@ -64,6 +73,8 @@ from repro.api.envelope import (
     now,
 )
 from repro.api.transport import InProcessTransport
+from repro.obs.prometheus import DurationHistogram, render_prometheus
+from repro.obs.trace import NOOP_TRACER, PARENT_HEADER, TRACE_HEADER, spans_from_wire
 from repro.server.http import (
     BadRequest,
     HttpRequest,
@@ -96,12 +107,18 @@ def _percentile(sorted_values: "list[float]", q: float) -> float:
 
 
 class ServerMetrics:
-    """Request counters + a bounded latency reservoir.
+    """Request counters + a bounded latency reservoir + stage histograms.
 
     Counts land per endpoint and per terminal status; latencies keep
     the most recent ``window`` served requests (enough for stable
-    percentiles without unbounded growth).  All methods are called
-    from the event-loop thread only, so no locking is needed.
+    percentiles without unbounded growth).  Requests rejected before
+    execution (unparseable payloads, invalid envelopes) go to a
+    separate ``parse_failures`` counter — they never reach an engine,
+    so recording them in ``by_status``/latency would fabricate 0-second
+    "requests" and skew the percentiles downward.  ``stages``
+    accumulates per-stage duration histograms from each executed
+    result's ``timings`` breakdown.  All methods are called from the
+    event-loop thread only, so no locking is needed.
     """
 
     def __init__(self, window: int = 4096) -> None:
@@ -110,10 +127,13 @@ class ServerMetrics:
         self.by_status: "dict[str, int]" = {
             STATUS_OK: 0, STATUS_ERROR: 0, STATUS_SHED: 0, STATUS_TIMEOUT: 0,
         }
+        self.parse_failures_total = 0
+        self.parse_failures_by_endpoint: "dict[str, int]" = {}
         self.http_responses: "dict[int, int]" = {}
         self.connections_total = 0
         self.connections_rejected = 0
         self._latencies: "collections.deque[float]" = collections.deque(maxlen=window)
+        self.stages: "dict[str, DurationHistogram]" = {}
 
     def observe_request(self, endpoint: str, status: str, wall_s: float) -> None:
         self.requests_total += 1
@@ -121,6 +141,24 @@ class ServerMetrics:
         self.by_status[status] = self.by_status.get(status, 0) + 1
         if status == STATUS_OK:
             self._latencies.append(wall_s)
+
+    def observe_parse_failure(self, endpoint: str) -> None:
+        """A request rejected before execution (kept out of by_status)."""
+        self.parse_failures_total += 1
+        self.parse_failures_by_endpoint[endpoint] = (
+            self.parse_failures_by_endpoint.get(endpoint, 0) + 1
+        )
+
+    def observe_stages(self, timings: "Mapping[str, Any]") -> None:
+        """Feed one executed result's stage breakdown into the histograms."""
+        for key, value in timings.items():
+            if not key.endswith("_s") or not isinstance(value, (int, float)):
+                continue
+            stage = key[:-2]
+            hist = self.stages.get(stage)
+            if hist is None:
+                hist = self.stages[stage] = DurationHistogram()
+            hist.observe(value)
 
     def observe_response(self, http_status: int) -> None:
         self.http_responses[http_status] = self.http_responses.get(http_status, 0) + 1
@@ -170,6 +208,12 @@ class SimulationServer:
         Optional callback ``(SimulationServer) -> None`` invoked once
         the listener is bound (the CLI prints the resolved address —
         useful with ``port=0``).
+    tracing:
+        Enable end-to-end tracing on the owned service
+        (``repro serve --trace``); ignored when ``service=`` is passed
+        (the service's own setting rules).  Traced requests adopt the
+        client's ``X-Repro-Trace-Id``, record a ``server.request``
+        span, and publish completed traces at ``GET /v1/trace/<id>``.
     """
 
     def __init__(
@@ -189,6 +233,7 @@ class SimulationServer:
         model_dir: "str | None" = None,
         on_result: "Callable[[RunRequest | None, RunResult], None] | None" = None,
         on_ready: "Callable[[SimulationServer], None] | None" = None,
+        tracing: bool = False,
     ) -> None:
         if max_pending < 0:
             raise ValueError(f"max_pending must be >= 0, got {max_pending}")
@@ -203,11 +248,13 @@ class SimulationServer:
                 max_batch_size=max_batch_size, max_wait=max_wait,
                 store=store, dl_solver=dl_solver,
                 workers=workers, model_dir=model_dir, start=True,
+                tracing=tracing,
             )
             self._owns_service = True
         else:
             self._owns_service = False
         self.service = service
+        self.tracer = getattr(service, "tracer", None) or NOOP_TRACER
         self._transport = InProcessTransport(service)
         self.host = host
         self.port = port
@@ -339,18 +386,25 @@ class SimulationServer:
                 return
             self._conn_busy[writer] = True
             try:
-                status, body = await self._route(request)
+                response = await self._route(request)
             finally:
                 self._conn_busy[writer] = False
+            if len(response) == 3:
+                status, body, content_type = response
+            else:
+                status, body = response
+                content_type = "application/json"
             keep_alive = request.keep_alive and not self._draining
             self.metrics.observe_response(status)
-            writer.write(response_bytes(status, body, keep_alive=keep_alive))
+            writer.write(response_bytes(
+                status, body, keep_alive=keep_alive, content_type=content_type
+            ))
             await writer.drain()
             if not keep_alive:
                 return
 
     # -- routing ----------------------------------------------------------
-    async def _route(self, request: HttpRequest) -> "tuple[int, Any]":
+    async def _route(self, request: HttpRequest) -> "tuple[int, Any] | tuple[int, Any, str]":
         route = (request.method, request.path)
         if route == ("POST", "/v1/run"):
             return await self._handle_run(request)
@@ -359,15 +413,80 @@ class SimulationServer:
         if route == ("GET", "/v1/health"):
             return 200, self.health()
         if route == ("GET", "/v1/metrics"):
-            return 200, self.metrics_snapshot()
+            return self._handle_metrics(request)
+        if request.path == "/v1/trace" or request.path.startswith("/v1/trace/"):
+            return self._handle_trace(request)
         if request.path in ("/v1/run", "/v1/batch", "/v1/health", "/v1/metrics"):
             return 405, error_body(
                 f"method {request.method} is not allowed on {request.path}"
             )
         return 404, error_body(
             f"unknown path {request.path!r}; endpoints: POST /v1/run, "
-            f"POST /v1/batch, GET /v1/health, GET /v1/metrics"
+            f"POST /v1/batch, GET /v1/health, GET /v1/metrics, "
+            f"GET /v1/trace/<id>"
         )
+
+    def _handle_metrics(self, request: HttpRequest) -> "tuple[int, Any] | tuple[int, Any, str]":
+        fmt = request.query.get("format", ["json"])[0]
+        if fmt == "prometheus":
+            return (
+                200,
+                render_prometheus(self.metrics_snapshot()),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        if fmt != "json":
+            return 400, error_body(
+                f"unknown metrics format {fmt!r}; use 'json' or 'prometheus'"
+            )
+        return 200, self.metrics_snapshot()
+
+    def _handle_trace(self, request: HttpRequest) -> "tuple[int, Any]":
+        """The trace endpoints (404 unless the service traces)."""
+        buffer = self.tracer.buffer
+        if buffer is None:
+            return 404, error_body(
+                "tracing is disabled on this server; start it with "
+                "`repro serve --trace` (SimulationServer(tracing=True))"
+            )
+        parts = [p for p in request.path.split("/") if p]  # ["v1","trace",...]
+        if request.method == "GET" and len(parts) == 2:
+            return 200, {"traces": buffer.ids(), "buffer": buffer.stats()}
+        if request.method == "GET" and len(parts) == 3:
+            trace_id = parts[2]
+            trace = buffer.last() if trace_id == "last" else buffer.get(trace_id)
+            if trace is None:
+                return 404, error_body(
+                    f"no completed trace {trace_id!r} in the buffer "
+                    f"({len(buffer)} buffered)"
+                )
+            return 200, trace.to_payload()
+        if request.method == "POST" and len(parts) == 4 and parts[3] == "spans":
+            return self._merge_remote_spans(parts[2], request)
+        return 405, error_body(
+            "trace endpoints: GET /v1/trace, GET /v1/trace/<id>, "
+            "POST /v1/trace/<id>/spans"
+        )
+
+    def _merge_remote_spans(
+        self, trace_id: str, request: HttpRequest
+    ) -> "tuple[int, Any]":
+        """Adopt a remote client's half of a trace it initiated."""
+        trace = self.tracer.get(trace_id)
+        if trace is None:
+            return 404, error_body(
+                f"no completed trace {trace_id!r} to merge spans into"
+            )
+        try:
+            obj = request.json()
+            if not isinstance(obj, Mapping) or not isinstance(
+                obj.get("spans"), list
+            ):
+                raise ValueError("span payload must be {'spans': [...]}")
+            spans = spans_from_wire(obj["spans"])
+        except ValueError as exc:
+            return 400, error_body(str(exc))
+        trace.adopt_remote(spans)
+        return 200, {"trace_id": trace_id, "merged_spans": len(spans)}
 
     # -- the run endpoints -------------------------------------------------
     async def _handle_run(self, request: HttpRequest) -> "tuple[int, Any]":
@@ -377,10 +496,14 @@ class SimulationServer:
             result = RunResult(
                 id="request-0", status=STATUS_ERROR, error=str(exc)
             )
-            self.metrics.observe_request("/v1/run", STATUS_ERROR, 0.0)
+            self.metrics.observe_parse_failure("/v1/run")
             self._notify(None, result)
             return 400, result.to_dict(arrays=False)
-        http_status, result = await self._serve_one(obj, index=0, endpoint="/v1/run")
+        http_status, result = await self._serve_one(
+            obj, index=0, endpoint="/v1/run",
+            trace_id=request.headers.get(TRACE_HEADER.lower()),
+            parent_id=request.headers.get(PARENT_HEADER.lower()),
+        )
         return http_status, result.to_dict()
 
     async def _handle_batch(self, request: HttpRequest) -> "tuple[int, Any]":
@@ -391,7 +514,7 @@ class SimulationServer:
                 id="request-0", status=STATUS_ERROR,
                 error=f"batch body is not valid UTF-8: {exc}",
             )
-            self.metrics.observe_request("/v1/batch", STATUS_ERROR, 0.0)
+            self.metrics.observe_parse_failure("/v1/batch")
             return 400, result.to_dict(arrays=False)
         # One line = one envelope, like `repro serve` file mode; blank
         # and comment lines are skipped.  Lines are served CONCURRENTLY
@@ -410,7 +533,7 @@ class SimulationServer:
                     id=f"request-{lineno}", status=STATUS_ERROR,
                     error=f"request line {lineno}: {exc}",
                 )
-                self.metrics.observe_request("/v1/batch", STATUS_ERROR, 0.0)
+                self.metrics.observe_parse_failure("/v1/batch")
                 self._notify(None, result)
                 return result
             _, result = await self._serve_one(obj, index=lineno, endpoint="/v1/batch")
@@ -423,9 +546,22 @@ class SimulationServer:
         return 200, body + ("\n" if body else "")
 
     async def _serve_one(
-        self, obj: Any, index: int, endpoint: str
+        self,
+        obj: Any,
+        index: int,
+        endpoint: str,
+        trace_id: "str | None" = None,
+        parent_id: "str | None" = None,
     ) -> "tuple[int, RunResult]":
-        """Parse, admit, execute and time one request envelope."""
+        """Parse, admit, execute and time one request envelope.
+
+        ``trace_id``/``parent_id`` carry the ``X-Repro-Trace-Id`` /
+        ``X-Repro-Parent-Span`` propagation headers: with tracing on,
+        the server *adopts* the client's trace id and nests its
+        ``server.request`` span under the client's HTTP span, so the
+        merged tree at ``/v1/trace/<id>`` reads client → server →
+        service → worker top to bottom.
+        """
         started = now()
         try:
             run_request = parse_request(obj, index=index)
@@ -437,9 +573,17 @@ class SimulationServer:
                 id=request_id or f"request-{index}",
                 status=STATUS_ERROR, error=str(exc),
             )
-            self.metrics.observe_request(endpoint, STATUS_ERROR, now() - started)
+            self.metrics.observe_parse_failure(endpoint)
             self._notify(None, result)
             return 400, result
+
+        trace = None
+        server_span = None
+        if self.tracer.enabled:
+            trace = self.tracer.start_trace("request", trace_id=trace_id)
+            server_span = trace.start_span("server.request", parent_id=parent_id)
+            server_span.set_attribute("endpoint", endpoint)
+            server_span.set_attribute("request_id", run_request.id)
 
         if self._draining or self._inflight >= self.max_pending:
             reason = (
@@ -451,6 +595,9 @@ class SimulationServer:
                 run_request, STATUS_SHED, f"request shed: {reason}; retry later",
                 wall_s=now() - started,
             )
+            if server_span:
+                server_span.set_attribute("status", STATUS_SHED).finish()
+                trace.finish()
             self.metrics.observe_request(endpoint, STATUS_SHED, now() - started)
             self._notify(run_request, result)
             return HTTP_FOR_STATUS[STATUS_SHED], result
@@ -459,7 +606,11 @@ class SimulationServer:
         try:
             # The transport's future never raises — failures arrive as
             # error-status results, exactly like the in-process Client.
-            future = self._transport.submit(run_request)
+            future = self._transport.submit(
+                run_request,
+                trace=trace,
+                parent_id=server_span.span_id if server_span else None,
+            )
             try:
                 result = await asyncio.wait_for(
                     asyncio.wrap_future(future), self.request_timeout
@@ -474,8 +625,12 @@ class SimulationServer:
                 )
         finally:
             self._inflight -= 1
+        if server_span:
+            server_span.set_attribute("status", result.status).finish()
         http_status = HTTP_FOR_STATUS.get(result.status, 500)
         self.metrics.observe_request(endpoint, result.status, now() - started)
+        if result.status == STATUS_OK:
+            self.metrics.observe_stages(result.timings)
         self._notify(run_request, result)
         return http_status, result
 
@@ -507,6 +662,10 @@ class SimulationServer:
                 "by_endpoint": dict(self.metrics.by_endpoint),
                 "by_status": dict(self.metrics.by_status),
             },
+            "parse_failures": {
+                "total": self.metrics.parse_failures_total,
+                "by_endpoint": dict(self.metrics.parse_failures_by_endpoint),
+            },
             "http_responses": {
                 str(code): count
                 for code, count in sorted(self.metrics.http_responses.items())
@@ -530,6 +689,15 @@ class SimulationServer:
                 )
             },
             "latency": self.metrics.latency_summary(),
+            "stages": {
+                name: hist.snapshot()
+                for name, hist in sorted(self.metrics.stages.items())
+            },
+            "traces": (
+                self.tracer.buffer.stats()
+                if self.tracer.buffer is not None
+                else {}
+            ),
             "service": service_stats,
             # Executor-pool gauges: busy/idle workers, per-shard
             # executed-run counts, group queue latency.

@@ -57,6 +57,16 @@ class PendingRequest:
     with identical selections.  ``phase_space`` asks for the final
     particle/distribution state — captured per request at result-build
     time, so it does not affect grouping.
+
+    The trailing fields carry per-request observability context:
+    ``trace``/``parent_id`` are the request's active trace and the span
+    to hang service spans under (``None`` when tracing is off — they
+    never affect grouping or execution), ``store_s`` is the store
+    lookup cost already paid at submit time, and ``t_submit`` is the
+    ``perf_counter`` submit instant that stage timings (batch wait,
+    queue wait) are measured from.  ``submitted_at`` stays on
+    ``time.monotonic`` — it drives the flush deadline policy and must
+    keep the batcher's explicit-clock contract.
     """
 
     key: str  # content address (store/in-flight slot)
@@ -66,6 +76,10 @@ class PendingRequest:
     observables: "tuple | None" = None
     phase_space: bool = False
     submitted_at: float = field(default_factory=time.monotonic)
+    trace: "object | None" = None
+    parent_id: "str | None" = None
+    store_s: float = 0.0
+    t_submit: float = field(default_factory=time.perf_counter)
 
 
 class MicroBatcher:

@@ -53,7 +53,8 @@ import numpy as np
 
 from repro.config import SimulationConfig
 from repro.engines.base import make_engine, validate_engine_config
-from repro.engines.observables import Observables, resolve_observables
+from repro.engines.observables import Observables, StepTimer, resolve_observables
+from repro.obs.trace import new_span_id
 
 
 @dataclass(frozen=True)
@@ -74,6 +75,10 @@ class GroupTask:
     observables: "tuple | None"
     phase_space: "tuple[bool, ...]"
     model_dir: "str | None" = None
+    #: When set, the engine call measures per-step timings (via a
+    #: :class:`~repro.engines.observables.StepTimer` appended to the
+    #: pipeline) and ships worker-side spans back in the outcome.
+    traced: bool = False
 
     def __len__(self) -> int:
         return len(self.configs)
@@ -88,7 +93,10 @@ class GroupOutcome:
     -leading); ``efield`` is the final ``(batch, n_cells)`` field.
     ``final_x``/``final_v``/``final_f`` hold one entry per member
     (``None`` unless that member's ``phase_space`` flag was set).
-    ``worker_pid`` and ``exec_s`` feed the pool gauges.
+    ``worker_pid`` and ``exec_s`` feed the pool gauges.  ``spans``
+    carries worker-side trace spans for traced tasks: wire-format
+    dicts whose ``start_s`` is relative to the worker's own execution
+    window (the adopting trace re-anchors them into its timeline).
     """
 
     series: "dict[str, np.ndarray]"
@@ -98,6 +106,7 @@ class GroupOutcome:
     final_f: "tuple[np.ndarray | None, ...]"
     worker_pid: int = field(default_factory=os.getpid)
     exec_s: float = 0.0
+    spans: "tuple[dict, ...]" = ()
 
     @property
     def batch(self) -> int:
@@ -175,12 +184,22 @@ def run_group_task(task: GroupTask, dl_solver: "object | None" = None) -> GroupO
     started = time.perf_counter()
     configs = tuple(SimulationConfig.from_dict(dict(d)) for d in task.configs)
     spec = validate_engine_config(configs[0])
-    pipeline = Observables(resolve_observables(task.observables, spec.kind))
+    observables = resolve_observables(task.observables, spec.kind)
+    if task.traced:
+        # StepTimer goes LAST so its inter-record interval covers one
+        # full engine step including every other observable's cost.
+        observables = list(observables) + [StepTimer()]
+    pipeline = Observables(observables)
     if task.solver == "dl" and dl_solver is None:
         dl_solver = _dl_solver_for(task.model_dir)
     sim = make_engine(configs, dl_solver=dl_solver)
+    t_built = time.perf_counter()
     history = sim.run(task.n_steps, history=pipeline)
+    t_run_done = time.perf_counter()
     series = history.as_arrays()
+    # Popping the timing series (not slicing around it) keeps every
+    # result series object identical to the untraced pipeline's output.
+    step_s = series.pop("step_s", None) if task.traced else None
     particles = getattr(sim, "particles", None)
     v_integer = getattr(sim, "v_at_integer_time", None)
     distribution = getattr(sim, "f", None)
@@ -196,14 +215,86 @@ def run_group_task(task: GroupTask, dl_solver: "object | None" = None) -> GroupO
         elif distribution is not None:
             final_f[b] = distribution[b].copy()
     _RUNS_EXECUTED += len(configs)
+    done = time.perf_counter()
+    spans: "tuple[dict, ...]" = ()
+    if task.traced:
+        spans = _worker_spans(
+            started, t_built, t_run_done, done, step_s,
+            n_steps=task.n_steps, batch=len(configs),
+        )
     return GroupOutcome(
         series=series,
         efield=np.asarray(sim.efield),
         final_x=tuple(final_x),
         final_v=tuple(final_v),
         final_f=tuple(final_f),
-        exec_s=time.perf_counter() - started,
+        exec_s=done - started,
+        spans=spans,
     )
+
+
+def _worker_spans(
+    t0: float,
+    t_built: float,
+    t_run_done: float,
+    t_done: float,
+    step_s: "np.ndarray | None",
+    *,
+    n_steps: int,
+    batch: int,
+) -> "tuple[dict, ...]":
+    """Worker-side spans in wire format, ``start_s`` relative to ``t0``.
+
+    The worker's ``perf_counter`` epoch is unrelated to the service's,
+    so these ship as offsets inside the worker's own execution window;
+    the adopting trace anchors the window just before delivery.
+    """
+    root_id = new_span_id()
+    run_id = new_span_id()
+    spans = [
+        {
+            "span_id": root_id,
+            "parent_id": None,
+            "name": "executor.worker_run",
+            "start_s": 0.0,
+            "duration_s": t_done - t0,
+            "attributes": {"worker_pid": os.getpid(), "batch": int(batch)},
+        },
+        {
+            "span_id": new_span_id(),
+            "parent_id": root_id,
+            "name": "engine.build",
+            "start_s": 0.0,
+            "duration_s": t_built - t0,
+        },
+        {
+            "span_id": run_id,
+            "parent_id": root_id,
+            "name": "engine.run",
+            "start_s": t_built - t0,
+            "duration_s": t_run_done - t_built,
+        },
+    ]
+    if step_s is not None and step_s.size > 1:
+        # Drop the first record: it times construction-to-first-record,
+        # not an engine step.
+        flat = step_s.ravel()[1:]
+        spans.append(
+            {
+                "span_id": new_span_id(),
+                "parent_id": run_id,
+                "name": "engine.steps",
+                "start_s": t_built - t0,
+                "duration_s": float(flat.sum()),
+                "attributes": {
+                    "n_steps": int(n_steps),
+                    "step_p50_s": float(np.percentile(flat, 50)),
+                    "step_p99_s": float(np.percentile(flat, 99)),
+                    "step_max_s": float(flat.max()),
+                },
+            }
+        )
+    return tuple(spans)
 
 
 def _pool_run_task(task: GroupTask) -> GroupOutcome:

@@ -36,6 +36,7 @@ thread (the exact pre-pool path, bitwise unchanged), while
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from concurrent.futures import Future, InvalidStateError
@@ -44,6 +45,7 @@ from typing import TYPE_CHECKING
 from repro.config import SimulationConfig
 from repro.engines.base import validate_engine_config
 from repro.engines.observables import canonical_observables, resolve_observables
+from repro.obs.trace import NOOP_TRACER, Span, Tracer
 from repro.service.batcher import MicroBatcher, PendingRequest
 from repro.service.executor import (
     Executor,
@@ -105,6 +107,14 @@ class SimulationService:
         Per-group execution deadline in seconds for the sharded
         executor (``None`` = no deadline); an expired group resolves
         its requests with a ``GroupTimeoutError``.
+    tracing:
+        Enable end-to-end request tracing (default off).  When on,
+        every request carries a :class:`~repro.obs.trace.Trace` through
+        submit → batch → dispatch → worker execution → delivery, and
+        completed traces land in ``service.tracer.buffer``.  When off,
+        the module-level no-op tracer is used and the per-request cost
+        is a handful of ``perf_counter`` calls for the always-on stage
+        timings.
     """
 
     def __init__(
@@ -118,9 +128,11 @@ class SimulationService:
         model_dir: "str | None" = None,
         executor: "Executor | None" = None,
         group_timeout: "float | None" = None,
+        tracing: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        self.tracer = Tracer() if tracing else NOOP_TRACER
         self.store = store if store is not None else ResultStore()
         self._batcher = MicroBatcher(max_batch_size=max_batch_size, max_wait=max_wait)
         self._dl_solver = dl_solver
@@ -186,6 +198,9 @@ class SimulationService:
         solver: "str | None" = None,
         observables: "object | None" = None,
         phase_space: bool = False,
+        *,
+        trace: "object | None" = None,
+        parent_id: "str | None" = None,
     ) -> "tuple[Future[SimulationResult], str]":
         """Like :meth:`submit`, also reporting how the request was met.
 
@@ -194,51 +209,100 @@ class SimulationService:
         (coalesced onto an identical request already queued or running;
         the same future object is returned) or ``"queued"`` (filed with
         the micro-batcher).
+
+        ``trace``/``parent_id`` attach the request to an active
+        :class:`~repro.obs.trace.Trace` (a transport or the server
+        passes its own); with ``tracing=True`` and no incoming trace
+        the service opens one itself.  The service finishes every trace
+        it sees once the request settles — ``Trace.finish`` is
+        idempotent, and spans a caller adds afterwards still render.
         """
-        if solver is not None and solver != config.solver:
-            config = config.with_updates(solver=solver)
-        solver = config.solver
-        spec = validate_engine_config(config)  # fail fast on unservable configs
-        selection = canonical_observables(observables)
-        # Building the pipeline validates the selection against this
-        # family (unknown names/params, family-incompatible observables
-        # all fail the submit, not the engine).
-        resolve_observables(selection, spec.kind)
-        key = self._result_key(config, solver, selection, phase_space)
-        # The store is thread-safe and possibly disk-backed: consult it
-        # outside the service lock so a multi-ms archive read never
-        # stalls other submitters or the worker.
-        cached = self.store.get(key)
-        with self._wake:
-            if self._closed:
-                raise RuntimeError(
-                    "SimulationService is closed (close() was called, or the "
-                    "service was used as an exited context manager); create a "
-                    "new service to submit further requests"
+        t_submit = time.perf_counter()
+        if trace is None:
+            trace = self.tracer.start_trace("request") if self.tracer.enabled else None
+        submit_span = (
+            trace.start_span("service.submit", parent_id=parent_id) if trace else None
+        )
+        try:
+            if solver is not None and solver != config.solver:
+                config = config.with_updates(solver=solver)
+            solver = config.solver
+            spec = validate_engine_config(config)  # fail fast on unservable configs
+            selection = canonical_observables(observables)
+            # Building the pipeline validates the selection against this
+            # family (unknown names/params, family-incompatible observables
+            # all fail the submit, not the engine).
+            resolve_observables(selection, spec.kind)
+            key = self._result_key(config, solver, selection, phase_space)
+            # The store is thread-safe and possibly disk-backed: consult it
+            # outside the service lock so a multi-ms archive read never
+            # stalls other submitters or the worker.
+            t_store = time.perf_counter()
+            cached = self.store.get(key)
+            store_s = time.perf_counter() - t_store
+            if submit_span:
+                Span(
+                    "service.store_lookup",
+                    trace=trace,
+                    parent_id=submit_span.span_id,
+                    start=t_store,
+                ).set_attribute("hit", cached is not None).finish(
+                    end=t_store + store_s
                 )
-            self._stats["requests"] += 1
-            if cached is not None:
-                self._stats["cache_hits"] += 1
-                future: "Future[SimulationResult]" = Future()
-                future.set_result(cached)
-                return future, STATUS_CACHED
-            inflight = self._inflight.get(key)
-            if inflight is not None:
-                self._stats["dedup_hits"] += 1
-                return inflight, STATUS_INFLIGHT
-            future = Future()
-            # File with the batcher before taking the in-flight slot:
-            # if grouping raises, no requester is left holding a future
-            # that nothing will ever resolve.
-            self._batcher.add(
-                PendingRequest(
-                    key=key, config=config, solver=solver, future=future,
-                    observables=selection, phase_space=phase_space,
+            with self._wake:
+                if self._closed:
+                    raise RuntimeError(
+                        "SimulationService is closed (close() was called, or the "
+                        "service was used as an exited context manager); create a "
+                        "new service to submit further requests"
+                    )
+                self._stats["requests"] += 1
+                if cached is not None:
+                    self._stats["cache_hits"] += 1
+                    timings: "dict[str, object]" = {"store_s": store_s}
+                    if trace:
+                        timings["trace_id"] = trace.trace_id
+                    cached = dataclasses.replace(cached, timings=timings)
+                    future: "Future[SimulationResult]" = Future()
+                    future.set_result(cached)
+                    if submit_span:
+                        submit_span.set_attribute("status", STATUS_CACHED)
+                    return future, STATUS_CACHED
+                inflight = self._inflight.get(key)
+                if inflight is not None:
+                    self._stats["dedup_hits"] += 1
+                    if submit_span:
+                        submit_span.set_attribute("status", STATUS_INFLIGHT)
+                    return inflight, STATUS_INFLIGHT
+                future = Future()
+                # File with the batcher before taking the in-flight slot:
+                # if grouping raises, no requester is left holding a future
+                # that nothing will ever resolve.
+                self._batcher.add(
+                    PendingRequest(
+                        key=key, config=config, solver=solver, future=future,
+                        observables=selection, phase_space=phase_space,
+                        trace=trace, parent_id=parent_id,
+                        store_s=store_s, t_submit=t_submit,
+                    )
                 )
-            )
-            self._inflight[key] = future
-            self._wake.notify()
-            return future, STATUS_QUEUED
+                self._inflight[key] = future
+                self._wake.notify()
+                if submit_span:
+                    submit_span.set_attribute("status", STATUS_QUEUED)
+                return future, STATUS_QUEUED
+        except BaseException as exc:
+            if submit_span:
+                submit_span.set_attribute("error", f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            if submit_span:
+                submit_span.finish()
+                # Settled-now paths (cached, inflight, rejected) end the
+                # trace here; queued requests finish at delivery.
+                status = submit_span.attributes.get("status")
+                if status != STATUS_QUEUED:
+                    trace.finish()
 
     def flush(self) -> None:
         """Execute every pending group now; returns once all resolved.
@@ -375,19 +439,26 @@ class SimulationService:
             observables=group[0].observables,
             phase_space=tuple(request.phase_space for request in group),
             model_dir=self._model_dir,
+            traced=any(request.trace for request in group),
         )
         with self._wake:
             self._dispatched += 1
+        t_dispatch = time.perf_counter()
         try:
             future = self._executor.submit(task)
         except BaseException as exc:  # noqa: BLE001 — e.g. closed executor
             self._fail_group(group, exc)
             self._settle_dispatch()
             return
-        future.add_done_callback(lambda f: self._finish_group(group, f))
+        future.add_done_callback(
+            lambda f: self._finish_group(group, f, t_dispatch)
+        )
 
     def _finish_group(
-        self, group: "list[PendingRequest]", future: "Future[GroupOutcome]"
+        self,
+        group: "list[PendingRequest]",
+        future: "Future[GroupOutcome]",
+        t_dispatch: float,
     ) -> None:
         """Turn one settled group outcome into per-request results."""
         try:
@@ -401,16 +472,39 @@ class SimulationService:
                 size = len(group)
                 self._batch_sizes[size] = self._batch_sizes.get(size, 0) + 1
             try:
-                self._deliver(group, outcome)
+                self._deliver(group, outcome, t_dispatch)
             except Exception as deliver_exc:  # noqa: BLE001 — e.g. MemoryError
                 self._fail_group(group, deliver_exc)
         finally:
             self._settle_dispatch()
 
-    def _deliver(self, group: "list[PendingRequest]", outcome: GroupOutcome) -> None:
-        """Build, store and resolve one result per batched request."""
+    def _deliver(
+        self,
+        group: "list[PendingRequest]",
+        outcome: GroupOutcome,
+        t_dispatch: float,
+    ) -> None:
+        """Build, store and resolve one result per batched request.
+
+        Also stamps the canonical stage breakdown on every result and,
+        for traced requests, records the dispatch-side spans and adopts
+        the worker-side ones.  The worker's spans are relative to its
+        own execution window; anchoring that window at
+        ``t_done - outcome.exec_s`` places it as late as possible, so
+        pickling/IPC cost shows up as executor queue time.
+        """
         series = outcome.series
+        t_done = time.perf_counter()
+        anchor = t_done - outcome.exec_s
+        queue_wait_s = max(0.0, (t_done - t_dispatch) - outcome.exec_s)
         for b, request in enumerate(group):
+            timings: "dict[str, object]" = {
+                "batch_wait_s": max(0.0, t_dispatch - request.t_submit),
+                "queue_wait_s": queue_wait_s,
+                "exec_s": outcome.exec_s,
+            }
+            if request.trace:
+                timings["trace_id"] = request.trace.trace_id
             result = SimulationResult(
                 key=request.key,
                 config=request.config,
@@ -423,7 +517,9 @@ class SimulationService:
                 final_x=outcome.final_x[b],
                 final_v=outcome.final_v[b],
                 final_f=outcome.final_f[b],
+                timings=timings,
             )
+            t_put = time.perf_counter()
             try:
                 # Thread-safe store; keep the (possibly compressed-npz)
                 # write out of the service lock.  Stored before the
@@ -433,10 +529,51 @@ class SimulationService:
             except Exception:  # noqa: BLE001 — the store is a cache, the run serves
                 with self._lock:
                     self._stats["store_errors"] += 1
+            # Store cost = submit-time lookup + delivery-time write.
+            # The memory tier shares this dict, so stamping after put
+            # updates the cached copy too.
+            timings["store_s"] = request.store_s + (time.perf_counter() - t_put)
             with self._lock:
                 self._inflight.pop(request.key, None)
                 self._stats["executed_runs"] += 1
+            if request.trace:
+                self._record_delivery_spans(
+                    request, outcome, t_dispatch, anchor, t_done, t_put
+                )
             self._resolve(request.future, result=result)
+
+    def _record_delivery_spans(
+        self,
+        request: PendingRequest,
+        outcome: GroupOutcome,
+        t_dispatch: float,
+        anchor: float,
+        t_done: float,
+        t_put: float,
+    ) -> None:
+        """Attach dispatch-stage + adopted worker spans to one trace."""
+        trace = request.trace
+        parent = request.parent_id
+        Span(
+            "service.batch_wait", trace=trace, parent_id=parent,
+            start=request.t_submit,
+        ).finish(end=t_dispatch)
+        dispatch = Span(
+            "executor.dispatch", trace=trace, parent_id=parent, start=t_dispatch
+        )
+        dispatch.set_attribute("batch", outcome.batch)
+        dispatch.set_attribute("worker_pid", outcome.worker_pid)
+        Span(
+            "executor.queue", trace=trace, parent_id=dispatch.span_id,
+            start=t_dispatch,
+        ).finish(end=anchor)
+        if outcome.spans:
+            trace.adopt(outcome.spans, anchor=anchor, parent_id=dispatch.span_id)
+        dispatch.finish(end=t_done)
+        Span(
+            "service.store_put", trace=trace, parent_id=parent, start=t_put
+        ).finish()
+        trace.finish()
 
     def _fail_group(
         self, group: "list[PendingRequest]", exc: BaseException
@@ -447,6 +584,11 @@ class SimulationService:
             for request in group:
                 self._inflight.pop(request.key, None)
         for request in group:
+            if request.trace:
+                request.trace.start_span(
+                    "service.error", parent_id=request.parent_id
+                ).set_attribute("error", f"{type(exc).__name__}: {exc}").finish()
+                request.trace.finish()
             # Already-resolved futures reject the exception harmlessly.
             self._resolve(request.future, exception=exc)
 

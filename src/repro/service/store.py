@@ -108,6 +108,11 @@ class SimulationResult:
     in-flight dedup hand every requester the *same* result object, so
     an in-place edit by one caller would silently corrupt what the
     store serves to everyone else.  Work on a ``.copy()`` instead.
+
+    ``timings`` is per-delivery telemetry (stage breakdown + trace id),
+    excluded from equality and never persisted: the on-disk npz holds
+    only the physics, so a disk round trip yields ``timings=None`` and
+    each delivery stamps its own.
     """
 
     key: str
@@ -119,6 +124,7 @@ class SimulationResult:
     final_x: "np.ndarray | None" = None
     final_v: "np.ndarray | None" = None
     final_f: "np.ndarray | None" = None
+    timings: "dict[str, object] | None" = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         for values in self.series.values():

@@ -401,3 +401,76 @@ class TestTrainAndReproduce:
         code = main(["reproduce", "table1", "--preset", "fast", "--cache", cache])
         assert code == 0
         assert "Mean Absolute Error" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    REQUEST = ('{"api_version": "v1", "config": {"scenario": "two_stream", '
+               '"n_cells": 16, "particles_per_cell": 10, "n_steps": 3, '
+               '"vth": 0.01, "seed": %d}, "id": "%s"}')
+
+    def _traced_manifest(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        path.write_text("\n".join(
+            self.REQUEST % (seed, rid)
+            for seed, rid in [(0, "a"), (1, "b")]
+        ) + "\n")
+        manifest = tmp_path / "manifest.json"
+        assert main(["serve", "--requests", str(path), "--trace",
+                     "--manifest", str(manifest)]) == 0
+        return manifest
+
+    def test_drain_manifest_records_traces(self, capsys, tmp_path):
+        manifest_path = self._traced_manifest(tmp_path)
+        capsys.readouterr()
+        manifest = json.loads(manifest_path.read_text())
+        assert len(manifest["traces"]) == 2
+        for trace in manifest["traces"]:
+            assert trace["complete"] is True
+            assert trace["n_spans"] >= 1
+        # Every request's timings name a recorded trace.
+        recorded = {t["trace_id"] for t in manifest["traces"]}
+        for entry in manifest["requests"]:
+            assert entry["timings"]["trace_id"] in recorded
+
+    def test_renders_waterfall_from_manifest(self, capsys, tmp_path):
+        manifest_path = self._traced_manifest(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "--manifest", str(manifest_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("trace ")
+        assert "client.request" in out
+        assert "engine.steps" in out
+        # A specific id renders too, and --json emits the raw payload.
+        manifest = json.loads(manifest_path.read_text())
+        trace_id = manifest["traces"][0]["trace_id"]
+        assert main(["trace", trace_id, "--manifest", str(manifest_path)]) == 0
+        assert trace_id in capsys.readouterr().out
+        assert main(["trace", trace_id, "--json",
+                     "--manifest", str(manifest_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace_id"] == trace_id
+
+    def test_unknown_trace_id_reports_cleanly(self, capsys, tmp_path):
+        manifest_path = self._traced_manifest(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "nope", "--manifest", str(manifest_path)]) == 2
+        assert "not in the manifest" in capsys.readouterr().err
+
+    def test_untraced_manifest_reports_cleanly(self, capsys, tmp_path):
+        manifest = tmp_path / "plain.json"
+        manifest.write_text(json.dumps({"api_version": "v1", "requests": []}))
+        assert main(["trace", "--manifest", str(manifest)]) == 2
+        assert "no traces" in capsys.readouterr().err
+
+    def test_url_and_manifest_are_exclusive(self, capsys, tmp_path):
+        assert main(["trace", "--manifest", "x.json",
+                     "--url", "http://127.0.0.1:1"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_unreachable_server_reports_cleanly(self, capsys):
+        import socket
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        assert main(["trace", "--url", f"http://127.0.0.1:{free_port}"]) == 2
+        assert "cannot fetch" in capsys.readouterr().err

@@ -2,6 +2,7 @@
 
 import http.client
 import json
+import re
 import socket
 import time
 
@@ -477,3 +478,177 @@ class TestServerValidation:
             SimulationServer(max_connections=0)
         with pytest.raises(ValueError, match="request_timeout"):
             SimulationServer(request_timeout=0.0)
+
+
+class TestMetricsSchema:
+    """Golden schema: the full /v1/metrics JSON key set is locked here.
+
+    A key appearing or disappearing is an API change and must update
+    this test (and the README observability table) deliberately.
+    """
+
+    TOP_LEVEL = {
+        "api_version", "requests", "parse_failures", "http_responses",
+        "connections", "queue", "cache_hit_ratio", "batch_size_histogram",
+        "latency", "stages", "traces", "service", "pool",
+    }
+
+    def test_golden_key_set(self, server):
+        with Client.connect(server.url) as client:
+            client.run(RunRequest(config=small_config(seed=201), id="g-1"))
+        status, data = raw_request(server, "GET", "/v1/metrics")
+        assert status == 200
+        payload = json.loads(data)
+        assert set(payload) == self.TOP_LEVEL
+        assert set(payload["requests"]) == {"total", "by_endpoint", "by_status"}
+        assert set(payload["parse_failures"]) == {"total", "by_endpoint"}
+        assert set(payload["connections"]) == {"open", "total", "rejected", "limit"}
+        assert set(payload["queue"]) == {
+            "inflight", "max_pending", "service_pending",
+        }
+        assert set(payload["latency"]) == {
+            "count", "p50_s", "p90_s", "p99_s", "max_s",
+        }
+        for hist in payload["stages"].values():
+            assert set(hist) == {"count", "sum_s", "max_s", "buckets"}
+        # Executed requests populate the canonical stage histograms.
+        assert {"batch_wait", "queue_wait", "exec", "store", "wall"} <= set(
+            payload["stages"]
+        )
+        assert payload["traces"] == {}  # tracing off on this server
+
+    def test_prometheus_format_parses(self, server):
+        status, data = raw_request(
+            server, "GET", "/v1/metrics?format=prometheus")
+        assert status == 200
+        text = data.decode()
+        line_re = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.einf+-]+$"
+        )
+        for line in text.strip().splitlines():
+            if not line.startswith("#"):
+                assert line_re.match(line), line
+        assert "repro_requests_total" in text
+        assert "repro_stage_duration_seconds_bucket" in text
+        assert 'quantile="0.5"' in text
+
+    def test_unknown_metrics_format_400(self, server):
+        status, data = raw_request(server, "GET", "/v1/metrics?format=xml")
+        assert status == 400
+        assert "format" in json.loads(data)["error"]
+
+    def test_parse_failures_counted_separately(self, server):
+        before = json.loads(raw_request(server, "GET", "/v1/metrics")[1])
+        raw_request(server, "POST", "/v1/run", b"{not json")
+        after = json.loads(raw_request(server, "GET", "/v1/metrics")[1])
+        assert (after["parse_failures"]["total"]
+                == before["parse_failures"]["total"] + 1)
+        assert after["parse_failures"]["by_endpoint"].get("/v1/run", 0) >= 1
+        # The garbage request reaches neither the status counters nor
+        # the execution-latency reservoir.
+        assert after["requests"]["by_status"] == before["requests"]["by_status"]
+        assert after["latency"]["count"] == before["latency"]["count"]
+
+    def test_trace_endpoint_404_when_tracing_off(self, server):
+        status, data = raw_request(server, "GET", "/v1/trace/deadbeef")
+        assert status == 404
+        assert "--trace" in json.loads(data)["error"]
+
+
+class TestTracing:
+    @pytest.fixture(scope="class")
+    def traced_server(self):
+        with serve_in_thread(max_batch_size=8, max_wait=0.005,
+                             tracing=True) as srv:
+            yield srv
+
+    def test_end_to_end_span_tree(self, traced_server):
+        with Client.connect(traced_server.url, tracing=True) as client:
+            result = client.run(
+                RunRequest(config=small_config(seed=210), id="tr-1"))
+        trace_id = result.timings["trace_id"]
+        status, data = raw_request(
+            traced_server, "GET", f"/v1/trace/{trace_id}")
+        assert status == 200
+        payload = json.loads(data)
+        assert payload["trace_id"] == trace_id
+        assert payload["complete"] is True
+        names = set()
+
+        def collect(nodes):
+            for node in nodes:
+                names.add(node["name"])
+                collect(node["children"])
+
+        collect(payload["spans"])
+        assert {"client.request", "client.http", "server.request",
+                "service.submit", "executor.dispatch", "executor.worker_run",
+                "engine.run", "engine.steps"} <= names
+        # The merged tree nests the server half under the client's
+        # HTTP span (clock-aligned via the propagation headers).
+        (root,) = payload["spans"]
+        assert root["name"] == "client.request"
+        (http_span,) = root["children"]
+        assert http_span["name"] == "client.http"
+        assert http_span["children"][0]["name"] == "server.request"
+
+    def test_stage_timings_in_remote_results(self, traced_server):
+        with Client.connect(traced_server.url) as client:
+            result = client.run(
+                RunRequest(config=small_config(seed=211), id="tr-2"))
+        assert {"wall_s", "batch_wait_s", "queue_wait_s", "exec_s",
+                "store_s"} <= set(result.timings)
+        total_stages = (result.timings["batch_wait_s"]
+                        + result.timings["queue_wait_s"]
+                        + result.timings["exec_s"])
+        assert total_stages <= result.timings["wall_s"] * 1.5 + 0.5
+
+    def test_trace_listing_and_last(self, traced_server):
+        with Client.connect(traced_server.url) as client:
+            result = client.run(
+                RunRequest(config=small_config(seed=212), id="tr-3"))
+        status, data = raw_request(traced_server, "GET", "/v1/trace")
+        assert status == 200
+        listing = json.loads(data)
+        assert result.timings["trace_id"] in listing["traces"]
+        assert listing["buffer"]["completed"] >= 1
+        status, data = raw_request(traced_server, "GET", "/v1/trace/last")
+        assert status == 200
+        assert json.loads(data)["n_spans"] >= 1
+
+    def test_unknown_trace_404(self, traced_server):
+        status, _ = raw_request(traced_server, "GET", f"/v1/trace/{'0' * 8}")
+        assert status == 404
+        status, _ = raw_request(traced_server, "GET", "/v1/trace/a/b/c")
+        assert status == 405
+
+    def test_span_merge_validates_payload(self, traced_server):
+        with Client.connect(traced_server.url) as client:
+            result = client.run(
+                RunRequest(config=small_config(seed=213), id="tr-4"))
+        trace_id = result.timings["trace_id"]
+        status, data = raw_request(
+            traced_server, "POST", f"/v1/trace/{trace_id}/spans",
+            json.dumps({"spans": [{"name": "x"}]}).encode())
+        assert status == 400
+        assert "span_id" in json.loads(data)["error"]
+        status, _ = raw_request(
+            traced_server, "POST", "/v1/trace/unknown/spans",
+            json.dumps({"spans": []}).encode())
+        assert status == 404
+
+    def test_tracing_preserves_bitwise_parity(self, server, traced_server):
+        request = RunRequest(config=small_config(seed=214), id="parity-tr",
+                             phase_space=True)
+        with Client.connect(server.url) as plain_client:
+            plain = plain_client.run(request)
+        with Client.connect(traced_server.url, tracing=True) as traced_client:
+            traced = traced_client.run(request)
+        assert traced.key == plain.key
+        for name, values in plain.series.items():
+            a = np.asarray(traced.series[name])
+            b = np.asarray(values)
+            assert a.dtype == b.dtype
+            np.testing.assert_array_equal(a, b, err_msg=f"drift in {name!r}")
+        np.testing.assert_array_equal(traced.final_x, plain.final_x)
+        np.testing.assert_array_equal(traced.final_v, plain.final_v)

@@ -199,7 +199,12 @@ class TestSimulationService:
             executed = service.stats["executed_runs"]
             again, status = service.submit_with_status(config)
             assert status == STATUS_CACHED
-            assert again.result(timeout=0) is first.result(timeout=0)
+            # A cached delivery is a lightweight copy with its own
+            # per-delivery timings; the result arrays are shared.
+            served, original = again.result(timeout=0), first.result(timeout=0)
+            assert served == original
+            assert served.series["total"] is original.series["total"]
+            assert set(served.timings) == {"store_s"}
             assert service.stats["executed_runs"] == executed
             assert service.stats["cache_hits"] == 1
 
@@ -395,7 +400,8 @@ class TestVlasovService:
             service.flush()
             again, status_again = service.submit_with_status(vconfig)
             assert status_again == STATUS_CACHED
-            assert again.result(timeout=0) is first.result(timeout=0)
+            # Per-delivery copy with fresh timings; arrays are shared.
+            assert again.result(timeout=0) == first.result(timeout=0)
         # disk round trip rehydrates the vlasov result bitwise
         rehydrated = ResultStore(capacity=4, directory=tmp_path).get(
             first.result(timeout=0).key
