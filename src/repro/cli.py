@@ -82,7 +82,17 @@ def _add_sweep(sub: "argparse._SubParsersAction") -> None:
                         "the energy-conserving implicit-midpoint PIC")
     p.add_argument("--dtype", choices=["float64", "float32"], default="float64",
                    help="numerical tier: float64 (bitwise-reproducible, default) or "
-                        "float32 (faster; parity-band accuracy, traditional only)")
+                        "float32 (faster; parity-band accuracy) — each engine "
+                        "family declares its tiers in the registry, and "
+                        "unsupported combinations fail with the supporting "
+                        "families named")
+    p.add_argument("--backend", choices=["numpy", "threaded", "numba"],
+                   default="numpy",
+                   help="kernel backend tier: numpy (reference, default), threaded "
+                        "(chunk batch rows across a shared thread pool) or numba "
+                        "(JIT deposit/gather; falls back to the reference kernels "
+                        "when the optional dependency is missing) — every backend "
+                        "reproduces the numpy float64 results bit for bit")
     p.add_argument("--model-dir", default=None,
                    help="directory saved by DLFieldSolver.save (required with --solver dl)")
     p.add_argument("--nv", type=int, default=None,
@@ -271,7 +281,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             n_cells=args.cells, particles_per_cell=args.ppc, n_steps=args.steps,
             dt=args.dt, scenario=args.scenario, solver=args.solver, extra=extra,
             interpolation=args.interpolation, poisson_solver=args.poisson,
-            dtype=args.dtype,
+            dtype=args.dtype, backend=args.backend,
         )
         requests = [
             RunRequest(
@@ -304,8 +314,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         size = f"{n_v}x{base.n_cells} phase-space cells in [{v_min}, {v_max}]"
     else:
         size = f"{base.n_particles} particles"
+    tier = args.dtype if args.backend == "numpy" else f"{args.dtype}/{args.backend}"
     print(f"sweeping {len(requests)} runs of scenario {args.scenario!r} "
-          f"with the {args.solver} solver ({args.dtype} tier, "
+          f"with the {args.solver} solver ({tier} tier, "
           f"{args.steps} steps, {size} each)...")
     try:
         with Client(background=False, max_batch_size=len(requests),

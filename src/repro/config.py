@@ -140,12 +140,26 @@ class SimulationConfig:
         Numerical tier of the run: ``"float64"`` (the default; every
         engine guarantees bitwise-reproducible results) or
         ``"float32"`` (half-cost serving for requests that opt out of
-        the bitwise guarantee; currently supported by the
-        ``traditional`` family only and regression-gated by a
-        documented parity band against float64).  The tier is a
+        the bitwise guarantee; supported by the ``traditional``,
+        ``vlasov`` and ``dl`` families — each engine family declares
+        its tiers in the registry (``EngineSpec.dtypes``) — and
+        regression-gated by a documented parity band against
+        float64).  The tier is a
         *structural* field: it is part of the engine compatibility key
         and of every cache/store key, so float32 results can never be
         served for a float64 request or vice versa.
+    backend:
+        Kernel backend executing the hot numerical paths
+        (``repro.kernels``): ``"numpy"`` (the default; the reference
+        vectorized kernels, the bitwise parity oracle), ``"threaded"``
+        (independent batch rows of each kernel call chunked across a
+        shared thread pool — bitwise identical to ``"numpy"`` in every
+        dtype tier) or ``"numba"`` (JIT-compiled scatter/gather behind
+        the optional ``numba`` dependency, falling back to the
+        reference kernels when it is absent).  Like ``dtype`` this is a
+        *structural* field — part of the engine compatibility key and
+        of every cache/store key — and family support is declared in
+        the engine registry (``EngineSpec.backends``).
     extra:
         Free-form scenario parameters (e.g. ``bump_fraction`` for
         ``bump_on_tail``).  Must be a JSON-style dict; it participates
@@ -172,6 +186,7 @@ class SimulationConfig:
     scenario: str = "two_stream"
     solver: str = "traditional"
     dtype: str = "float64"
+    backend: str = "numpy"
     # Identity (eq/hash/cache_key) is hand-rolled below so the mutable
     # extra dict can participate through its canonicalized form.
     extra: dict[str, Any] = field(default_factory=dict)
@@ -204,6 +219,13 @@ class SimulationConfig:
         if self.dtype not in ("float32", "float64"):
             raise ValueError(
                 f"unknown dtype {self.dtype!r}; expected 'float32' or 'float64'"
+            )
+        # Mirrors repro.kernels.KERNEL_BACKEND_NAMES (kept literal so the
+        # config module stays a leaf; a unit test pins the two together).
+        if self.backend not in ("numpy", "threaded", "numba"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected 'numpy', "
+                f"'threaded' or 'numba'"
             )
         if not isinstance(self.extra, dict):
             raise ValueError(f"extra must be a dict, got {type(self.extra).__name__}")

@@ -19,6 +19,7 @@ identical to the corresponding single run (see ``repro.nn.layers``).
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import json
 from pathlib import Path
@@ -76,6 +77,42 @@ class DLFieldSolver:
         self.input_kind = input_kind
         self.binning = binning
         self.last_histograms: "np.ndarray | None" = None
+        # The float32 serving tier: a deep copy of the model with the
+        # weights cast down, built lazily on the first float32 call
+        # (weights are frozen at serving time — call
+        # :meth:`invalidate_float32_cache` after mutating them).
+        self._model_f32: "Sequential | None" = None
+        # Kernel backend threaded into evaluation-mode Dense GEMMs.
+        self._kernel_backend = None
+
+    def set_kernel_backend(self, backend) -> None:
+        """Route this solver's evaluation GEMMs through ``backend``.
+
+        ``backend`` is a ``repro.kernels`` backend or ``None`` (the
+        reference block loop).  Applied to both the float64 model and
+        the lazily built float32 copy.
+        """
+        self._kernel_backend = backend
+        self.model.set_eval_backend(backend)
+        if self._model_f32 is not None:
+            self._model_f32.set_eval_backend(backend)
+
+    def invalidate_float32_cache(self) -> None:
+        """Drop the float32 weight copy (call after mutating weights)."""
+        self._model_f32 = None
+
+    def _eval_model(self, dtype: np.dtype) -> Sequential:
+        """The model matching an input dtype (float32 copy built lazily)."""
+        if dtype != np.float32:
+            return self.model
+        if self._model_f32 is None:
+            model = copy.deepcopy(self.model)
+            for layer in model.layers:
+                for key, value in layer.params.items():
+                    layer.params[key] = value.astype(np.float32)
+            model.set_eval_backend(self._kernel_backend)
+            self._model_f32 = model
+        return self._model_f32
 
     @property
     def last_histogram(self) -> "np.ndarray | None":
@@ -95,7 +132,9 @@ class DLFieldSolver:
         covers the whole stack.  Returns ``(batch, n_v*n_x)`` for
         ``"flat"`` models or ``(batch, 1, n_v, n_x)`` for ``"image"``.
         """
-        histograms = np.asarray(histograms, dtype=np.float64)
+        histograms = np.asarray(histograms)
+        if histograms.dtype != np.float32:
+            histograms = np.asarray(histograms, dtype=np.float64)
         if histograms.ndim != 3 or histograms.shape[1:] != self.ps_grid.shape:
             raise ValueError(
                 f"histograms {histograms.shape} do not match "
@@ -114,8 +153,14 @@ class DLFieldSolver:
         return self.prepare_inputs(histogram[None])
 
     def predict_from_histograms(self, histograms: np.ndarray) -> np.ndarray:
-        """One network forward over stacked raw histograms."""
-        return self.model.predict(self.prepare_inputs(histograms))
+        """One network forward over stacked raw histograms.
+
+        float32 histograms are evaluated by the float32 weight copy
+        (single-precision GEMMs end to end); anything else runs the
+        float64 reference model unchanged.
+        """
+        prepared = self.prepare_inputs(histograms)
+        return self._eval_model(prepared.dtype).predict(prepared)
 
     def predict_from_histogram(self, histogram: np.ndarray) -> np.ndarray:
         """Network prediction for one raw (unnormalized) histogram."""
@@ -130,7 +175,7 @@ class DLFieldSolver:
         the whole batch, and row ``b`` is bitwise identical to a
         single-run :meth:`field` call on ``(x[b], v[b])``.
         """
-        hists = bin_phase_space_batch(x, v, self.ps_grid, order=self.binning)
+        hists = bin_phase_space_batch(x, v, self.ps_grid, order=self.binning, dtype=x.dtype)
         self.last_histograms = hists
         return self.predict_from_histograms(hists)
 
@@ -142,8 +187,10 @@ class DLFieldSolver:
         ``(batch, n_cells)``); the single-run form is a batch-of-one
         view of :meth:`fields`.
         """
-        x = np.asarray(x, dtype=np.float64)
-        v = np.asarray(v, dtype=np.float64)
+        x = np.asarray(x)
+        if x.dtype != np.float32:
+            x = np.asarray(x, dtype=np.float64)
+        v = np.asarray(v, dtype=x.dtype)
         if x.ndim == 2:
             return self.fields(x, v)
         return self.fields(x[None], v[None])[0]

@@ -58,6 +58,7 @@ STRUCTURAL_FIELDS = (
     "poisson_solver",
     "gradient",
     "dtype",
+    "backend",
 )
 
 # Phase-space grid knobs of the Vlasov family, read from
@@ -77,6 +78,7 @@ VLASOV_STRUCTURAL_FIELDS = (
     "poisson_solver",
     "gradient",
     "dtype",
+    "backend",
 )
 
 
@@ -179,6 +181,12 @@ class EngineSpec:
     (particle frames) or ``"vlasov"`` (phase-space density frames) —
     and picks the right measurement for kind-dependent observables
     (see :func:`repro.engines.observables.resolve_observables`).
+
+    ``dtypes`` and ``backends`` declare the numerical tiers and kernel
+    backends the family can run; :func:`require_tier` rejects anything
+    else at submit time with a message derived from the registry, so
+    the error always names which families *do* support the requested
+    tier (and never goes stale as tiers expand).
     """
 
     name: str
@@ -186,6 +194,8 @@ class EngineSpec:
     structural_key: "Callable[[SimulationConfig], Hashable]"
     validate: "Callable[[SimulationConfig], None] | None" = None
     kind: str = "pic"
+    dtypes: "tuple[str, ...]" = ("float64",)
+    backends: "tuple[str, ...]" = ("numpy",)
 
 
 _ENGINES: "dict[str, EngineSpec]" = {}
@@ -275,19 +285,44 @@ def _pic_structural_key(config: SimulationConfig) -> Hashable:
     return tuple(getattr(config, name) for name in STRUCTURAL_FIELDS)
 
 
-def _require_float64(config: SimulationConfig) -> None:
-    """Families without a float32 path reject the tier at submit time."""
-    if config.dtype != "float64":
+def _families_supporting(field: str, value: str) -> "tuple[str, ...]":
+    """Registered families whose ``dtypes``/``backends`` include ``value``."""
+    return tuple(
+        name for name in available_engines()
+        if value in getattr(_ENGINES[name], field)
+    )
+
+
+def require_tier(config: SimulationConfig) -> None:
+    """Reject dtype/backend tiers the config's family does not declare.
+
+    The error message is derived from the registry: it names the tiers
+    the family *does* support and the families that support the
+    requested one, so it stays accurate as the support matrix grows.
+    """
+    spec = get_engine_spec(config.solver)
+    if config.dtype not in spec.dtypes:
+        supporters = _families_supporting("dtypes", config.dtype)
         raise ValueError(
-            f"solver={config.solver!r} supports only dtype='float64' "
-            f"(the float32 tier currently covers the 'traditional' family), "
-            f"got dtype={config.dtype!r}"
+            f"solver={config.solver!r} supports dtype tier(s) "
+            f"{', '.join(spec.dtypes)}, got dtype={config.dtype!r} "
+            f"(dtype={config.dtype!r} is available for: "
+            f"{', '.join(supporters) if supporters else 'no registered family'})"
+        )
+    if config.backend not in spec.backends:
+        supporters = _families_supporting("backends", config.backend)
+        raise ValueError(
+            f"solver={config.solver!r} supports kernel backend(s) "
+            f"{', '.join(spec.backends)}, got backend={config.backend!r} "
+            f"(backend={config.backend!r} is available for: "
+            f"{', '.join(supporters) if supporters else 'no registered family'})"
         )
 
 
 def _pic_validate(config: SimulationConfig) -> None:
     from repro.pic.scenarios import get_scenario
 
+    require_tier(config)
     get_scenario(config.scenario)
 
 
@@ -302,7 +337,6 @@ def _build_traditional(
 
 
 def _dl_validate(config: SimulationConfig) -> None:
-    _require_float64(config)
     _pic_validate(config)
 
 
@@ -321,7 +355,6 @@ def _build_dl(
 
 
 def _energy_validate(config: SimulationConfig) -> None:
-    _require_float64(config)
     _pic_validate(config)
 
 
@@ -336,7 +369,6 @@ def _build_energy(
 
 
 def _mpi_validate(config: SimulationConfig) -> None:
-    _require_float64(config)
     _pic_validate(config)
     mpi_rank_params(config)
 
@@ -360,7 +392,7 @@ def _vlasov_structural_key(config: SimulationConfig) -> Hashable:
 def _vlasov_validate(config: SimulationConfig) -> None:
     from repro.pic.scenarios import get_distribution
 
-    _require_float64(config)
+    require_tier(config)
     get_distribution(config.scenario)
     if config.vth <= 0:
         raise ValueError(
@@ -391,12 +423,16 @@ register_engine(EngineSpec(
     build=_build_traditional,
     structural_key=_pic_structural_key,
     validate=_pic_validate,
+    dtypes=("float64", "float32"),
+    backends=("numpy", "threaded", "numba"),
 ))
 register_engine(EngineSpec(
     name="dl",
     build=_build_dl,
     structural_key=_pic_structural_key,
     validate=_dl_validate,
+    dtypes=("float64", "float32"),
+    backends=("numpy", "threaded"),
 ))
 register_engine(EngineSpec(
     name="vlasov",
@@ -404,6 +440,8 @@ register_engine(EngineSpec(
     structural_key=_vlasov_structural_key,
     validate=_vlasov_validate,
     kind="vlasov",
+    dtypes=("float64", "float32"),
+    backends=("numpy", "threaded"),
 ))
 register_engine(EngineSpec(
     name="energy",

@@ -122,8 +122,16 @@ def kinetic_energy_rows(particles: "ParticleSet", v: "np.ndarray | None" = None)
 def field_energy_rows(
     grid: "Grid1D", e: np.ndarray, eps0: float = constants.EPSILON_0
 ) -> np.ndarray:
-    """Per-run electrostatic energy of ``(batch, n_cells)`` fields."""
-    e = np.atleast_2d(np.asarray(e, dtype=np.float64))
+    """Per-run electrostatic energy of ``(batch, n_cells)`` fields.
+
+    Dtype-following: float32 fields (the reduced-precision serving
+    tier) are measured — and recorded — in float32; everything else is
+    coerced to float64 exactly as before, so float64 output is bitwise
+    unchanged.
+    """
+    e = np.atleast_2d(np.asarray(e))
+    if e.dtype != np.float32:
+        e = np.asarray(e, dtype=np.float64)
     if e.shape[-1] != grid.n_cells:
         raise ValueError(f"E has shape {e.shape}, expected (batch, {grid.n_cells})")
     return 0.5 * eps0 * np.sum(e * e, axis=-1) * grid.dx
@@ -145,8 +153,13 @@ def mode_amplitude_rows(e: np.ndarray, mode: int = 1) -> np.ndarray:
     stays bitwise equal to the scalar :func:`mode_amplitude` (the
     guarantee the ensemble engine documents; the regression test pits
     this against the historical per-row Python loop).
+
+    Dtype-following like :func:`field_energy_rows`: float32 fields run
+    a single-precision FFT (complex64) and return float32 amplitudes.
     """
-    e = np.atleast_2d(np.asarray(e, dtype=np.float64))
+    e = np.atleast_2d(np.asarray(e))
+    if e.dtype != np.float32:
+        e = np.asarray(e, dtype=np.float64)
     n = e.shape[-1]
     if not 0 <= mode <= n // 2:
         raise ValueError(f"mode {mode} out of range for {n} cells")

@@ -1,0 +1,135 @@
+"""Optional numba JIT kernels (float64 particle deposit/gather).
+
+Import-gated: when the optional ``numba`` dependency is missing this
+module still imports cleanly with ``NUMBA_AVAILABLE = False`` and the
+``numba`` backend falls back to the reference numpy kernels.
+
+Bitwise contract
+----------------
+Every kernel here replicates the reference path's floating-point
+operation order *exactly*, so float64 results are bit-for-bit equal to
+``backend="numpy"``:
+
+* ``np.add.at`` accumulates contributions in raveled index order, and
+  the reference deposit issues one ``add.at`` per shape-function arm
+  (left, then center, then right).  Output rows are disjoint per batch
+  member, so looping ``row -> arm -> particle`` reproduces each cell's
+  accumulation sequence exactly.
+* Squared weights are written as explicit products (numpy lowers
+  ``x ** 2`` to a multiplication; libm ``pow`` is not guaranteed to).
+* Index wrapping copies the reference's power-of-two bit-mask fast
+  path and falls back to the sign-of-divisor modulo both numpy and
+  numba inherit from Python.
+
+The kernels cover the float64 tier only — float32 numba runs use the
+reference kernels (NEP-50 scalar-promotion behavior differs between
+numpy expressions and jitted scalar code, and replicating it is not
+worth a second kernel set for the tier that exists to trade exactness
+for speed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the only path on bare hosts
+    numba = None
+    NUMBA_AVAILABLE = False
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+
+    @numba.njit(cache=True)
+    def deposit_rows(out, x, w, dx, order_code):
+        """Scatter ``w`` onto ``out`` rows; order_code 0=ngp 1=cic 2=tsc.
+
+        ``out`` is a zeroed ``(batch, n_cells)`` slab; the caller
+        divides by ``dx`` afterwards (matching the reference deposit).
+        """
+        batch, n = x.shape
+        n_cells = out.shape[1]
+        mask = n_cells - 1
+        pow2 = (n_cells & mask) == 0
+        for b in range(batch):
+            if order_code == 0:  # ngp: one arm
+                for p in range(n):
+                    j = np.int64(np.floor(x[b, p] / dx + 0.5))
+                    jw = (j & mask) if pow2 else (j % n_cells)
+                    out[b, jw] += w[b, p]
+            elif order_code == 1:  # cic: left arm, then right arm
+                for p in range(n):
+                    s = x[b, p] / dx
+                    j = np.int64(np.floor(s))
+                    jl = (j & mask) if pow2 else (j % n_cells)
+                    out[b, jl] += w[b, p] * (1.0 - (s - j))
+                for p in range(n):
+                    s = x[b, p] / dx
+                    j = np.int64(np.floor(s))
+                    jr = ((j + 1) & mask) if pow2 else ((j + 1) % n_cells)
+                    out[b, jr] += w[b, p] * (s - j)
+            else:  # tsc: left, center, right arms
+                for p in range(n):
+                    s = x[b, p] / dx
+                    j = np.int64(np.floor(s + 0.5))
+                    d = s - j
+                    hl = 0.5 - d
+                    jl = ((j - 1) & mask) if pow2 else ((j - 1) % n_cells)
+                    out[b, jl] += w[b, p] * (0.5 * (hl * hl))
+                for p in range(n):
+                    s = x[b, p] / dx
+                    j = np.int64(np.floor(s + 0.5))
+                    d = s - j
+                    jc = (j & mask) if pow2 else (j % n_cells)
+                    out[b, jc] += w[b, p] * (0.75 - d * d)
+                for p in range(n):
+                    s = x[b, p] / dx
+                    j = np.int64(np.floor(s + 0.5))
+                    d = s - j
+                    hr = 0.5 + d
+                    jr = ((j + 1) & mask) if pow2 else ((j + 1) % n_cells)
+                    out[b, jr] += w[b, p] * (0.5 * (hr * hr))
+
+    @numba.njit(cache=True)
+    def gather_rows(out, field, x, dx, order_code):
+        """Interpolate per-row ``field`` to ``x``; order_code 0/1/2."""
+        batch, n = x.shape
+        n_cells = field.shape[1]
+        mask = n_cells - 1
+        pow2 = (n_cells & mask) == 0
+        for b in range(batch):
+            for p in range(n):
+                s = x[b, p] / dx
+                if order_code == 0:
+                    j = np.int64(np.floor(s + 0.5))
+                    jw = (j & mask) if pow2 else (j % n_cells)
+                    out[b, p] = field[b, jw]
+                elif order_code == 1:
+                    j = np.int64(np.floor(s))
+                    frac = s - j
+                    jl = (j & mask) if pow2 else (j % n_cells)
+                    jr = ((j + 1) & mask) if pow2 else ((j + 1) % n_cells)
+                    out[b, p] = field[b, jl] * (1.0 - frac) + field[b, jr] * frac
+                else:
+                    j = np.int64(np.floor(s + 0.5))
+                    d = s - j
+                    hl = 0.5 - d
+                    hr = 0.5 + d
+                    jl = ((j - 1) & mask) if pow2 else ((j - 1) % n_cells)
+                    jc = (j & mask) if pow2 else (j % n_cells)
+                    jr = ((j + 1) & mask) if pow2 else ((j + 1) % n_cells)
+                    out[b, p] = (
+                        field[b, jl] * (0.5 * (hl * hl))
+                        + field[b, jc] * (0.75 - d * d)
+                        + field[b, jr] * (0.5 * (hr * hr))
+                    )
+
+else:
+    deposit_rows = None
+    gather_rows = None
+
+#: Shape-function order -> the integer code the jitted kernels take.
+ORDER_CODES = {"ngp": 0, "cic": 1, "tsc": 2}

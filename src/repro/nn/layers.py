@@ -27,6 +27,18 @@ batch size, making each output row a function of its input row alone.
 The padding is effectively free: a skinny ``(GEMM_BLOCK, F) @ (F, O)``
 product is bound by streaming ``W`` from memory, which a 1-row product
 pays in full anyway.
+
+Evaluation dtype tier
+---------------------
+Training always runs in float64 (gradients are checked against central
+finite differences at double precision).  Evaluation-mode forwards are
+dtype-following instead: float32 inputs flow through float32 kernels
+(the DL serving tier casts a frozen copy of the weights down, see
+``repro.dlpic.DLFieldSolver``), everything else is coerced to float64
+exactly as before.  Evaluation ``Dense`` GEMMs additionally accept a
+kernel backend (``Dense.eval_backend``): the block loop is expressed
+over row ranges, so a parallel backend runs whole ``GEMM_BLOCK`` blocks
+concurrently — never splitting a block, hence never changing a bit.
 """
 
 from __future__ import annotations
@@ -36,8 +48,17 @@ from typing import Callable
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.kernels import KernelBackend
 from repro.nn.initializers import get_initializer
 from repro.utils.rng import as_generator
+
+
+def _eval_dtype(x: np.ndarray) -> np.ndarray:
+    """Evaluation coercion: float32 passes through, the rest to float64."""
+    x = np.asarray(x)
+    if x.dtype != np.float32:
+        x = np.asarray(x, dtype=np.float64)
+    return x
 
 # Fixed row-block width for evaluation-mode Dense matmuls (see module
 # docstring).  16 matches the reference ensemble batch size, so a
@@ -45,7 +66,12 @@ from repro.utils.rng import as_generator
 GEMM_BLOCK = 16
 
 
-def blocked_gemm(x: np.ndarray, w: np.ndarray, out: "np.ndarray | None" = None) -> np.ndarray:
+def blocked_gemm(
+    x: np.ndarray,
+    w: np.ndarray,
+    out: "np.ndarray | None" = None,
+    backend: "KernelBackend | None" = None,
+) -> np.ndarray:
     """``x @ w`` computed in fixed ``GEMM_BLOCK``-row blocks.
 
     Row ``i`` of the result is bitwise identical for every possible row
@@ -53,24 +79,39 @@ def blocked_gemm(x: np.ndarray, w: np.ndarray, out: "np.ndarray | None" = None) 
     width), which is what makes batched network inference reproduce
     single-run inference exactly.  Full blocks are written straight
     into ``out`` (allocated here if not supplied) without temporaries.
+    The output dtype follows the operands (float64 inputs keep the
+    historical float64 GEMM bit for bit; the float32 serving tier runs
+    single-precision BLAS blocks).
 
     Applying the blocks to *every* evaluation matmul (not only the
     DL-ensemble path) trades ~1.5x on very large-batch products (the
     BLAS can no longer cache-block across thousands of rows) for
     predictions that are reproducible under any dataset chunking; the
     expensive training forwards keep the unblocked ``x @ W``.
+
+    A parallel ``backend`` runs contiguous runs of whole blocks
+    concurrently — block boundaries are pinned via
+    ``run_rows(..., multiple=GEMM_BLOCK)``, so the per-block GEMMs (and
+    their bits) are unchanged.
     """
     n = x.shape[0]
     if out is None:
-        out = np.empty((n, w.shape[1]), dtype=np.float64)
-    for start in range(0, n, GEMM_BLOCK):
-        stop = min(start + GEMM_BLOCK, n)
-        if stop - start == GEMM_BLOCK:
-            np.matmul(x[start:stop], w, out=out[start:stop])
-        else:
-            padded = np.zeros((GEMM_BLOCK, x.shape[1]), dtype=np.float64)
-            padded[: stop - start] = x[start:stop]
-            out[start:stop] = np.matmul(padded, w)[: stop - start]
+        out = np.empty((n, w.shape[1]), dtype=np.promote_types(x.dtype, w.dtype))
+
+    def run(lo: int, hi: int) -> None:
+        for start in range(lo, hi, GEMM_BLOCK):
+            stop = min(start + GEMM_BLOCK, n)
+            if stop - start == GEMM_BLOCK:
+                np.matmul(x[start:stop], w, out=out[start:stop])
+            else:
+                padded = np.zeros((GEMM_BLOCK, x.shape[1]), dtype=x.dtype)
+                padded[: stop - start] = x[start:stop]
+                out[start:stop] = np.matmul(padded, w)[: stop - start]
+
+    if backend is not None and backend.parallel:
+        backend.run_rows(n, run, multiple=GEMM_BLOCK)
+    else:
+        run(0, n)
     return out
 
 
@@ -125,9 +166,15 @@ class Dense(Layer):
         }
         self.grads = {k: np.zeros_like(v) for k, v in self.params.items()}
         self._x: "np.ndarray | None" = None
+        #: Optional kernel backend for evaluation-mode GEMMs (set by
+        #: ``Sequential.set_eval_backend``); None = reference loop.
+        self.eval_backend: "KernelBackend | None" = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        if training:
+            x = np.asarray(x, dtype=np.float64)
+        else:
+            x = _eval_dtype(x)
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(f"Dense expected (N, {self.in_features}), got {x.shape}")
         if training:
@@ -136,7 +183,7 @@ class Dense(Layer):
         # Inference fast path: no backward cache, batch-size-invariant
         # fixed-width GEMM, bias added in place into the output buffer.
         self._x = None
-        out = blocked_gemm(x, self.params["W"])
+        out = blocked_gemm(x, self.params["W"], backend=self.eval_backend)
         out += self.params["b"]
         return out
 
@@ -160,10 +207,11 @@ class ReLU(Layer):
         self._mask: "np.ndarray | None" = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
         if not training:
+            x = _eval_dtype(x)
             self._mask = None
             return np.where(x > 0.0, x, 0.0)
+        x = np.asarray(x, dtype=np.float64)
         self._mask = x > 0.0
         return np.where(self._mask, x, 0.0)
 
@@ -181,7 +229,8 @@ class Tanh(Layer):
         self._y: "np.ndarray | None" = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        y = np.tanh(np.asarray(x, dtype=np.float64))
+        x = np.asarray(x, dtype=np.float64) if training else _eval_dtype(x)
+        y = np.tanh(x)
         self._y = y if training else None
         return y
 
@@ -199,7 +248,7 @@ class Sigmoid(Layer):
         self._y: "np.ndarray | None" = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64) if training else _eval_dtype(x)
         y = 0.5 * (1.0 + np.tanh(0.5 * x))  # numerically stable sigmoid
         self._y = y if training else None
         return y
@@ -222,7 +271,7 @@ class Dropout(Layer):
         self._mask: "np.ndarray | None" = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64) if training else _eval_dtype(x)
         if not training or self.rate == 0.0:
             self._mask = None
             return x
@@ -244,7 +293,7 @@ class Flatten(Layer):
         self._shape: "tuple[int, ...] | None" = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64) if training else _eval_dtype(x)
         self._shape = x.shape if training else None
         return x.reshape(x.shape[0], -1)
 
@@ -305,7 +354,7 @@ class Conv2D(Layer):
         return kh // 2, kw // 2
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64) if training else _eval_dtype(x)
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"Conv2D expected (N, {self.in_channels}, H, W), got {x.shape}"
@@ -325,7 +374,10 @@ class Conv2D(Layer):
             self._x_shape = None
             h_out = xp.shape[2] - kh + 1
             w_out = xp.shape[3] - kw + 1
-            out = np.empty((x.shape[0], self.out_channels, h_out, w_out), dtype=np.float64)
+            out = np.empty(
+                (x.shape[0], self.out_channels, h_out, w_out),
+                dtype=np.promote_types(x.dtype, self.params["W"].dtype),
+            )
             for i in range(x.shape[0]):
                 windows = sliding_window_view(xp[i], (kh, kw), axis=(1, 2))
                 y = np.tensordot(windows, self.params["W"], axes=([0, 3, 4], [1, 2, 3]))
@@ -398,7 +450,7 @@ class MaxPool2D(Layer):
         self._argmax: "np.ndarray | None" = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64) if training else _eval_dtype(x)
         if x.ndim != 4:
             raise ValueError(f"MaxPool2D expected (N, C, H, W), got {x.shape}")
         ph, pw = self.pool_size

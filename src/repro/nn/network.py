@@ -77,15 +77,31 @@ class Sequential:
             grad = layer.backward(grad)
         return grad
 
+    def set_eval_backend(self, backend) -> "Sequential":
+        """Route evaluation-mode Dense GEMMs through a kernel backend.
+
+        ``backend`` is a ``repro.kernels`` backend instance or ``None``
+        (the reference block loop).  Training is unaffected.  Returns
+        self for chaining.
+        """
+        for layer in self.layers:
+            if hasattr(layer, "eval_backend"):
+                layer.eval_backend = backend
+        return self
+
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Inference in evaluation mode, batched to bound memory.
 
         Chunks are written straight into one preallocated output array
         (sized from the first chunk) instead of the list-append +
         concatenate pattern, so large predictions cost one output
-        allocation and no final copy.
+        allocation and no final copy.  float32 inputs stay float32 end
+        to end (the serving tier); anything else is coerced to float64
+        exactly as before.
         """
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x)
+        if x.dtype != np.float32:
+            x = np.asarray(x, dtype=np.float64)
         if batch_size < 1:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         n = x.shape[0]

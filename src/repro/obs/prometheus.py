@@ -239,6 +239,20 @@ def render_prometheus(snapshot: Mapping) -> str:
     service = snapshot.get("service", {})
     if isinstance(service, Mapping):
         _flat_gauges(w, "repro_service", service, "Service gauge")
+        tiers = service.get("runs_by_tier", {})
+        if isinstance(tiers, Mapping) and tiers:
+            w.header(
+                "repro_service_runs_by_tier_total",
+                "counter",
+                "Executed engine runs per dtype/kernel-backend tier.",
+            )
+            for tier, count in sorted(tiers.items()):
+                dtype, _, backend = str(tier).partition("/")
+                w.sample(
+                    "repro_service_runs_by_tier_total",
+                    count,
+                    {"dtype": dtype, "backend": backend},
+                )
     pool = snapshot.get("pool", {})
     if isinstance(pool, Mapping):
         _flat_gauges(w, "repro_pool", pool, "Executor pool gauge")

@@ -42,10 +42,19 @@ class MinMaxNormalizer:
         return self
 
     def transform(self, data: np.ndarray, clip: bool = False) -> np.ndarray:
-        """Apply Eq. 5; requires a prior :meth:`fit`."""
+        """Apply Eq. 5; requires a prior :meth:`fit`.
+
+        Dtype-following: float32 data normalizes in float32 (the DL
+        serving tier), everything else in float64 as before — the
+        fitted bounds are Python floats, which numpy's promotion rules
+        keep from widening a float32 array.
+        """
         if not self.fitted:
             raise RuntimeError("normalizer used before fit()")
-        out = (np.asarray(data, dtype=np.float64) - self.minimum) / (self.maximum - self.minimum)
+        arr = np.asarray(data)
+        if arr.dtype != np.float32:
+            arr = np.asarray(arr, dtype=np.float64)
+        out = (arr - self.minimum) / (self.maximum - self.minimum)
         if clip:
             out = np.clip(out, 0.0, 1.0)
         return out

@@ -13,37 +13,101 @@ it reduces exactly to the leapfrog velocity update.
 All pushers are purely elementwise, so they operate unchanged on a
 single run (arrays of shape ``(n,)``) or on a stacked ensemble of
 independent runs (``(batch, n)``) — the batched update of row ``b`` is
-bitwise identical to pushing that row alone.
+bitwise identical to pushing that row alone.  That same row
+independence lets the leapfrog pushers take an optional kernel
+``backend`` (``repro.kernels``): a parallel backend updates contiguous
+row chunks concurrently, producing the reference bit pattern because
+each output row depends only on the matching input rows.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import KernelBackend
 
-def push_velocities(v: np.ndarray, e_at_particles: np.ndarray, qm: float, dt: float) -> np.ndarray:
+
+def _chunked(backend: "KernelBackend | None", x: np.ndarray) -> bool:
+    """Whether ``backend`` should split this array's batch rows."""
+    return backend is not None and backend.parallel and x.ndim == 2
+
+
+def push_velocities(
+    v: np.ndarray,
+    e_at_particles: np.ndarray,
+    qm: float,
+    dt: float,
+    backend: "KernelBackend | None" = None,
+) -> np.ndarray:
     """Leapfrog velocity update (Eq. 2); returns a new array."""
+    if _chunked(backend, v):
+        out = np.empty_like(v)
+
+        def slab(lo: int, hi: int) -> None:
+            out[lo:hi] = v[lo:hi] + qm * e_at_particles[lo:hi] * dt
+
+        backend.run_rows(v.shape[0], slab)
+        return out
     return v + qm * e_at_particles * dt
 
 
-def push_positions(x: np.ndarray, v: np.ndarray, dt: float, length: float) -> np.ndarray:
+def push_positions(
+    x: np.ndarray,
+    v: np.ndarray,
+    dt: float,
+    length: float,
+    backend: "KernelBackend | None" = None,
+) -> np.ndarray:
     """Leapfrog position update (Eq. 1) with periodic wrapping."""
     if x.dtype == np.float32:
         # The float32 tier wraps via floor — ~8x cheaper than np.mod
         # and equal to it up to single-precision rounding (a particle
         # may land exactly on L, which the grid treats as node 0).
+        if _chunked(backend, x):
+            out = np.empty_like(x)
+            flen = np.float32(length)
+
+            def slab(lo: int, hi: int) -> None:
+                xs = x[lo:hi] + v[lo:hi] * dt
+                xs -= np.floor(xs / flen) * flen
+                out[lo:hi] = xs
+
+            backend.run_rows(x.shape[0], slab)
+            return out
         x = x + v * dt
         x -= np.floor(x / np.float32(length)) * np.float32(length)
         return x
+    if _chunked(backend, x):
+        out = np.empty_like(x)
+
+        def slab(lo: int, hi: int) -> None:
+            out[lo:hi] = np.mod(x[lo:hi] + v[lo:hi] * dt, length)
+
+        backend.run_rows(x.shape[0], slab)
+        return out
     return np.mod(x + v * dt, length)
 
 
-def rewind_velocities(v: np.ndarray, e_at_particles: np.ndarray, qm: float, dt: float) -> np.ndarray:
+def rewind_velocities(
+    v: np.ndarray,
+    e_at_particles: np.ndarray,
+    qm: float,
+    dt: float,
+    backend: "KernelBackend | None" = None,
+) -> np.ndarray:
     """Shift velocities from ``t=0`` back to ``t=-dt/2`` to start leapfrog.
 
     Standard leapfrog initialization: the loaded velocities are defined
     at integer time 0 while the scheme stores them at half steps.
     """
+    if _chunked(backend, v):
+        out = np.empty_like(v)
+
+        def slab(lo: int, hi: int) -> None:
+            out[lo:hi] = v[lo:hi] - 0.5 * qm * e_at_particles[lo:hi] * dt
+
+        backend.run_rows(v.shape[0], slab)
+        return out
     return v - 0.5 * qm * e_at_particles * dt
 
 

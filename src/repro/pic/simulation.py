@@ -31,6 +31,7 @@ import numpy as np
 from repro.config import SimulationConfig
 from repro.engines.base import STRUCTURAL_FIELDS
 from repro.engines.observables import Frame, Observables, pic_observables
+from repro.kernels import KernelBackend, resolve_backend
 from repro.pic.grid import Grid1D
 from repro.pic.interpolation import charge_density, gather
 from repro.pic.mover import push_positions, push_velocities, rewind_velocities
@@ -115,18 +116,21 @@ class ChargeDepositionFieldSolver:
         poisson_method: str = "spectral",
         gradient: str = "central",
         background: float = 1.0,
+        backend: "KernelBackend | None" = None,
     ) -> None:
         self.grid = grid
         self.particle_charge = particle_charge
         self.interpolation = interpolation
         self.background = background
+        self.backend = backend
         self.poisson = PoissonSolver(grid, method=poisson_method, gradient=gradient)
         self.last_rho: "np.ndarray | None" = None
         self.last_phi: "np.ndarray | None" = None
 
     def field(self, x: np.ndarray, v: np.ndarray) -> np.ndarray:
         rho = charge_density(
-            self.grid, x, self.particle_charge, order=self.interpolation, background=self.background
+            self.grid, x, self.particle_charge, order=self.interpolation,
+            background=self.background, backend=self.backend,
         )
         phi, e = self.poisson.solve(rho)
         self.last_rho = rho
@@ -181,6 +185,11 @@ class EnsembleSimulation:
         self.config = ref  # structural reference member
         self.batch = len(self.configs)
         self.grid = Grid1D(ref.n_cells, ref.box_length)
+        # The kernel backend tier: how the independent batch rows of
+        # every hot kernel execute.  All backends reproduce the numpy
+        # reference bit for bit (per-row invariance), so this is purely
+        # a speed knob.
+        self._backend = resolve_backend(ref.backend)
         if field_solver is None:
             field_solver = ChargeDepositionFieldSolver(
                 self.grid,
@@ -188,6 +197,7 @@ class EnsembleSimulation:
                 interpolation=ref.interpolation,
                 poisson_method=ref.poisson_solver,
                 gradient=ref.gradient,
+                backend=self._backend,
             )
         self.field_solver = as_batched_solver(field_solver)
         self.particles: ParticleSet = load_ensemble(self.configs, rngs)
@@ -212,8 +222,13 @@ class EnsembleSimulation:
             )
         self._v_integer = self.particles.v.copy()  # v at t=0 (integer time)
         # Rewind v to t = -dt/2 for leapfrog staggering.
-        e_at_p = gather(self.grid, self.efield, self.particles.x, order=ref.interpolation)
-        self.particles.v = rewind_velocities(self.particles.v, e_at_p, ref.qm, ref.dt)
+        e_at_p = gather(
+            self.grid, self.efield, self.particles.x,
+            order=ref.interpolation, backend=self._backend,
+        )
+        self.particles.v = rewind_velocities(
+            self.particles.v, e_at_p, ref.qm, ref.dt, backend=self._backend
+        )
 
     @classmethod
     def from_config(
@@ -258,10 +273,16 @@ class EnsembleSimulation:
     def step(self) -> None:
         """Advance every member one PIC cycle (gather -> push v -> push x -> field)."""
         cfg = self.config
-        e_at_p = gather(self.grid, self.efield, self.particles.x, order=cfg.interpolation)
-        v_new = push_velocities(self.particles.v, e_at_p, cfg.qm, cfg.dt)
+        backend = self._backend
+        e_at_p = gather(
+            self.grid, self.efield, self.particles.x,
+            order=cfg.interpolation, backend=backend,
+        )
+        v_new = push_velocities(self.particles.v, e_at_p, cfg.qm, cfg.dt, backend=backend)
         self.particles.v = v_new
-        self.particles.x = push_positions(self.particles.x, v_new, cfg.dt, cfg.box_length)
+        self.particles.x = push_positions(
+            self.particles.x, v_new, cfg.dt, cfg.box_length, backend=backend
+        )
         self.efield = np.asarray(
             self.field_solver.field(self.particles.x, self.particles.v), dtype=self._dtype
         )
@@ -269,7 +290,10 @@ class EnsembleSimulation:
         self.time += cfg.dt
         # Synchronize velocities to the new integer time t_{n+1} with a
         # half push using the freshly computed field (diagnostics only).
-        e_new_at_p = gather(self.grid, self.efield, self.particles.x, order=cfg.interpolation)
+        e_new_at_p = gather(
+            self.grid, self.efield, self.particles.x,
+            order=cfg.interpolation, backend=backend,
+        )
         self._v_integer = v_new + 0.5 * cfg.qm * e_new_at_p * cfg.dt
 
     def run(
@@ -428,6 +452,7 @@ class TraditionalPIC(PICSimulation):
             interpolation=config.interpolation,
             poisson_method=config.poisson_solver,
             gradient=config.gradient,
+            backend=resolve_backend(config.backend),
         )
         super().__init__(config, solver, rng)
 

@@ -221,6 +221,7 @@ def run_group_task(task: GroupTask, dl_solver: "object | None" = None) -> GroupO
         spans = _worker_spans(
             started, t_built, t_run_done, done, step_s,
             n_steps=task.n_steps, batch=len(configs),
+            dtype=configs[0].dtype, backend=configs[0].backend,
         )
     return GroupOutcome(
         series=series,
@@ -242,6 +243,8 @@ def _worker_spans(
     *,
     n_steps: int,
     batch: int,
+    dtype: str = "float64",
+    backend: str = "numpy",
 ) -> "tuple[dict, ...]":
     """Worker-side spans in wire format, ``start_s`` relative to ``t0``.
 
@@ -258,7 +261,12 @@ def _worker_spans(
             "name": "executor.worker_run",
             "start_s": 0.0,
             "duration_s": t_done - t0,
-            "attributes": {"worker_pid": os.getpid(), "batch": int(batch)},
+            "attributes": {
+                "worker_pid": os.getpid(),
+                "batch": int(batch),
+                "dtype": dtype,
+                "backend": backend,
+            },
         },
         {
             "span_id": new_span_id(),

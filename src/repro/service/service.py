@@ -164,6 +164,10 @@ class SimulationService:
             "store_errors": 0,
         }
         self._batch_sizes: "dict[int, int]" = {}
+        # Executed runs keyed by "<dtype>/<backend>" — how much work
+        # each speed tier actually serves (exposed in /v1/metrics and
+        # as a labeled Prometheus counter).
+        self._tier_runs: "dict[str, int]" = {}
         self._thread: "threading.Thread | None" = None
         if start:
             self._thread = threading.Thread(
@@ -326,8 +330,9 @@ class SimulationService:
                 self._wake.wait()
 
     @property
-    def stats(self) -> dict[str, int]:
-        """Counters snapshot (requests, hits, batches, executed runs...)."""
+    def stats(self) -> "dict[str, object]":
+        """Counters snapshot (requests, hits, batches, executed runs...)
+        plus ``runs_by_tier`` ("<dtype>/<backend>" -> executed runs)."""
         with self._lock:
             out = dict(self._stats)
             out["pending"] = len(self._batcher)
@@ -336,6 +341,7 @@ class SimulationService:
             out["store_hits"] = self.store.hits
             out["store_disk_hits"] = self.store.disk_hits
             out["store_misses"] = self.store.misses
+            out["runs_by_tier"] = dict(self._tier_runs)
         return out
 
     @property
@@ -536,6 +542,8 @@ class SimulationService:
             with self._lock:
                 self._inflight.pop(request.key, None)
                 self._stats["executed_runs"] += 1
+                tier = f"{request.config.dtype}/{request.config.backend}"
+                self._tier_runs[tier] = self._tier_runs.get(tier, 0) + 1
             if request.trace:
                 self._record_delivery_spans(
                     request, outcome, t_dispatch, anchor, t_done, t_put

@@ -31,6 +31,7 @@ import numpy as np
 from repro.config import SimulationConfig
 from repro.engines.base import get_engine_spec, vlasov_grid_params
 from repro.engines.observables import Frame, Observables, vlasov_observables
+from repro.kernels import resolve_backend
 from repro.pic.grid import Grid1D
 from repro.pic.poisson import PoissonSolver
 from repro.pic.scenarios import load_distribution
@@ -150,6 +151,22 @@ class VlasovEnsemble:
             (np.arange(self.batch, dtype=np.int64) * (vcfg.n_v * vcfg.n_x))[:, None, None]
             + np.arange(vcfg.n_x, dtype=np.int64)[None, None, :]
         )
+        # The numerical tier: indices and weights are always derived in
+        # double (exact), then the state and every stencil operand the
+        # advections touch are cast down for float32 runs — after which
+        # the whole split cycle (gathers, stencil arithmetic, FFTs) runs
+        # in single precision.  float64 runs are untouched.
+        self._dtype = ref.np_dtype
+        if self._dtype == np.float32:
+            self.f = self.f.astype(np.float32)
+            self._v_centers = self._v_centers.astype(np.float32)
+            self._xadv_w = self._xadv_w.astype(np.float32)
+            self._v_rows = self._v_rows.astype(np.float32)
+        # The kernel backend tier: every advection is a slab function
+        # over contiguous batch rows, so a parallel backend chunks the
+        # stack while reproducing the reference bit pattern (each row's
+        # gathers and arithmetic are independent of the slab bounds).
+        self._backend = resolve_backend(ref.backend)
         self.time: float = 0.0
         self.step_index: int = 0
         self.efield: np.ndarray = self._solve_field()
@@ -184,10 +201,16 @@ class VlasovEnsemble:
         construction instead of every call.
         """
         flat = f.reshape(-1)
-        g0 = flat.take(self._xadv_flat0)
-        g1 = flat.take(self._xadv_flat1)
         w = self._xadv_w
-        return (1.0 - w) * g0 + w * g1
+        out = np.empty_like(f)
+
+        def slab(lo: int, hi: int) -> None:
+            g0 = flat.take(self._xadv_flat0[lo:hi])
+            g1 = flat.take(self._xadv_flat1[lo:hi])
+            out[lo:hi] = (1.0 - w) * g0 + w * g1
+
+        self._backend.run_rows(self.batch, slab)
+        return out
 
     def _advect_v(self, f: np.ndarray, shift: np.ndarray) -> np.ndarray:
         """Batched full v-advection (zero inflow), one flat gather per arm.
@@ -207,30 +230,44 @@ class VlasovEnsemble:
         flat = f.reshape(-1)
         # Interior rows r satisfy floor(r - s) in [0, n_v-2] for every
         # member's shift s at every column: r >= max(s) and r < n_v-1+min(s).
+        # Derived from the *whole* stack's shift so chunked backends see
+        # the same slab bounds as the reference (bitwise invariance).
         r0 = min(max(0, int(np.ceil(shift.max()))), n_v)
         r1 = max(r0, min(n_v, int(np.ceil(n_v - 1 + shift.min()))))
         out = np.empty_like(f)
-        if r1 > r0:
-            pos = self._v_rows[:, r0:r1] - shift[:, None, :]
-            base = np.floor(pos).astype(np.int64)
-            w = pos - base
-            gidx = base * n_x + self._v_flat_offset
-            f0 = flat.take(gidx)
-            f1 = flat.take(gidx + n_x)
-            out[:, r0:r1] = (1.0 - w) * f0 + w * f1
-        for lo, hi in ((0, r0), (r1, n_v)):
-            if lo >= hi:
-                continue
-            pos = self._v_rows[:, lo:hi] - shift[:, None, :]
-            base = np.floor(pos).astype(np.int64)
-            w = pos - base
-            valid0 = (base >= 0) & (base < n_v)
-            valid1 = (base + 1 >= 0) & (base + 1 < n_v)
-            g0 = flat.take(np.clip(base, 0, n_v - 1) * n_x + self._v_flat_offset)
-            g1 = flat.take(np.clip(base + 1, 0, n_v - 1) * n_x + self._v_flat_offset)
-            f0 = np.where(valid0, g0, 0.0)
-            f1 = np.where(valid1, g1, 0.0)
-            out[:, lo:hi] = (1.0 - w) * f0 + w * f1
+        v_rows = self._v_rows
+
+        def _weights(pos: np.ndarray, base: np.ndarray) -> np.ndarray:
+            # float32 - int64 would promote to float64; keep the tier's
+            # dtype (the float64 path is the historical expression).
+            return pos - (base if pos.dtype == np.float64 else base.astype(pos.dtype))
+
+        def slab(blo: int, bhi: int) -> None:
+            sh = shift[blo:bhi, None, :]
+            offs = self._v_flat_offset[blo:bhi]
+            if r1 > r0:
+                pos = v_rows[:, r0:r1] - sh
+                base = np.floor(pos).astype(np.int64)
+                w = _weights(pos, base)
+                gidx = base * n_x + offs
+                f0 = flat.take(gidx)
+                f1 = flat.take(gidx + n_x)
+                out[blo:bhi, r0:r1] = (1.0 - w) * f0 + w * f1
+            for lo, hi in ((0, r0), (r1, n_v)):
+                if lo >= hi:
+                    continue
+                pos = v_rows[:, lo:hi] - sh
+                base = np.floor(pos).astype(np.int64)
+                w = _weights(pos, base)
+                valid0 = (base >= 0) & (base < n_v)
+                valid1 = (base + 1 >= 0) & (base + 1 < n_v)
+                g0 = flat.take(np.clip(base, 0, n_v - 1) * n_x + offs)
+                g1 = flat.take(np.clip(base + 1, 0, n_v - 1) * n_x + offs)
+                f0 = np.where(valid0, g0, 0.0)
+                f1 = np.where(valid1, g1, 0.0)
+                out[blo:bhi, lo:hi] = (1.0 - w) * f0 + w * f1
+
+        self._backend.run_rows(self.batch, slab)
         return out
 
     def step(self) -> None:

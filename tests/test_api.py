@@ -95,11 +95,16 @@ class TestRunRequestSchema:
             })
 
     def test_float32_unsupported_families_fail_at_construction(self, config):
-        with pytest.raises(ValueError, match="float64"):
-            RunRequest(config=config.with_updates(
-                solver="vlasov", vth=0.03, dtype="float32"))
+        # The registry-derived error names the family's supported tiers
+        # and which families do offer the requested one.
         with pytest.raises(ValueError, match="float64"):
             RunRequest(config=config.with_updates(solver="energy", dtype="float32"))
+        with pytest.raises(ValueError, match="is available for"):
+            RunRequest(config=config.with_updates(solver="mpi", dtype="float32"))
+
+    def test_unsupported_backend_fails_at_construction(self, config):
+        with pytest.raises(ValueError, match="kernel backend"):
+            RunRequest(config=config.with_updates(solver="energy", backend="threaded"))
 
     def test_metadata_and_tags_validated(self, config):
         with pytest.raises(ValueError, match="metadata"):
