@@ -1,0 +1,126 @@
+"""Streaming data campaign vs the materializing harvest — 40 runs.
+
+The same 40-simulation campaign is harvested twice: once through
+``run_campaign`` (the pre-streaming materialize-everything path, one
+process, results only in memory at the end) and once through
+``CampaignStream`` with 4 pool workers, 8-run shards and 2 shards of
+prefetch.  The bench asserts the ISSUE's acceptance bar: the
+concatenated streamed shards are bitwise identical to the materialized
+dataset, peak in-flight work never exceeds ``shard_size x
+prefetch_depth`` runs (the memory bound — 16 of 40 runs resident), and
+streaming with workers is at least 1.5x faster end to end (shard
+writes included).
+
+The speedup gate needs real parallel hardware, so it is skipped below
+4 usable cores (numbers still measured and dumped).  The outcome lands
+in ``.artifacts/results/BENCH_datagen.json`` and is uploaded as a CI
+artifact; CI's runners enforce the gate.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+from conftest import dump_result
+
+from repro.config import SimulationConfig
+from repro.datagen import CampaignConfig, CampaignStream, run_campaign
+from repro.phasespace.binning import PhaseSpaceGrid
+
+WORKERS = 4
+SHARD_SIZE = 8
+PREFETCH = 2
+
+# 4 x 2 x 5 = 40 simulations, ~100 steps of ~6.4k particles each:
+# heavy enough that harvest compute dominates shard npz I/O, light
+# enough to keep the bench under ~2 min single-process.
+_BASE = SimulationConfig(
+    n_cells=64, particles_per_cell=100, n_steps=100, dt=0.2, seed=0
+)
+CAMPAIGN = CampaignConfig(
+    base_config=_BASE,
+    v0_values=(0.16, 0.18, 0.2, 0.22),
+    vth_values=(0.01, 0.02),
+    experiments_per_combo=5,
+    ps_grid=PhaseSpaceGrid(n_x=32, n_v=16, box_length=_BASE.box_length),
+)
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def test_streaming_speedup_memory_bound_and_parity(results_dir, tmp_path):
+    cores = _usable_cores()
+
+    start = time.perf_counter()
+    materialized = run_campaign(CAMPAIGN)
+    materialize_s = time.perf_counter() - start
+
+    from repro.api import Client
+    from repro.service import ResultStore
+
+    with Client(
+        background=True,
+        max_batch_size=SHARD_SIZE,
+        max_wait=0.005,
+        store=ResultStore(capacity=0),
+        workers=WORKERS,
+    ) as client:
+        client.service.executor.warm()  # spawn cost stays out of the timing
+        stream = CampaignStream(
+            CAMPAIGN,
+            tmp_path / "campaign",
+            shard_size=SHARD_SIZE,
+            prefetch_depth=PREFETCH,
+            client=client,
+        )
+        start = time.perf_counter()
+        streamed = stream.dataset()
+        streaming_s = time.perf_counter() - start
+    speedup = materialize_s / streaming_s if streaming_s > 0 else float("inf")
+
+    # Parity before performance: shard composition must change nothing.
+    assert np.array_equal(streamed.inputs, materialized.inputs)
+    assert np.array_equal(streamed.targets, materialized.targets)
+    assert np.array_equal(streamed.params, materialized.params)
+
+    # The memory bound: at most shard_size x prefetch_depth of the 40
+    # runs were ever resident in the stream at once.
+    max_inflight = stream.stats["max_inflight_runs"]
+    assert max_inflight <= SHARD_SIZE * PREFETCH
+    assert stream.stats["runs_executed"] == CAMPAIGN.n_simulations
+
+    dump_result(
+        results_dir,
+        "BENCH_datagen",
+        {
+            "n_runs": CAMPAIGN.n_simulations,
+            "shard_size": SHARD_SIZE,
+            "prefetch_depth": PREFETCH,
+            "workers": WORKERS,
+            "usable_cores": cores,
+            "materialize_s": materialize_s,
+            "streaming_s": streaming_s,
+            "speedup": speedup,
+            "max_inflight_runs": max_inflight,
+            "inflight_bound": SHARD_SIZE * PREFETCH,
+            "bitwise_parity": True,
+            "gate": f">=1.5x at {WORKERS} workers (enforced with >=4 cores)",
+        },
+    )
+
+    if cores < 4:
+        pytest.skip(
+            f"speedup gate needs >= 4 usable cores, have {cores} "
+            f"(measured {speedup:.2f}x; parity and memory bound held)"
+        )
+    assert speedup >= 1.5, (
+        f"expected >= 1.5x streaming with {WORKERS} workers on {cores} cores, "
+        f"got {speedup:.2f}x (materialize {materialize_s:.2f}s, "
+        f"streaming {streaming_s:.2f}s)"
+    )

@@ -612,11 +612,18 @@ class RunResult:
         The service's per-delivery stage breakdown (``batch_wait_s``,
         ``queue_wait_s``, ``exec_s``, ``store_s``, ``trace_id``) is
         carried over from ``served.timings``; ``wall_s`` — the only
-        client-observed stage — is stamped on top.
+        client-observed stage — is stamped on top.  DL results also
+        carry the serving model's fingerprint as
+        ``metadata["model_fingerprint"]`` — metadata rides the wire
+        envelope, so remote clients see the exact model identity too.
         """
         timings = dict(getattr(served, "timings", None) or {})
         if wall_s is not None:
             timings["wall_s"] = wall_s
+        metadata = dict(request.metadata)
+        fingerprint = getattr(served, "model_fingerprint", None)
+        if fingerprint:
+            metadata["model_fingerprint"] = fingerprint
         return cls(
             id=request.id,
             status=STATUS_OK,
@@ -632,7 +639,7 @@ class RunResult:
             cache_hit=submit_status == "cached",
             submit_status=submit_status,
             timings=timings,
-            metadata=dict(request.metadata),
+            metadata=metadata,
             tags=request.tags,
         )
 

@@ -1,13 +1,15 @@
 """Command-line interface.
 
-Eight subcommands mirror the library's main workflows::
+Ten subcommands mirror the library's main workflows::
 
     python -m repro.cli simulate   # run a traditional PIC two-stream sim
     python -m repro.cli sweep      # run a batched ensemble of scenarios
     python -m repro.cli serve      # drain JSONL requests through the service
     python -m repro.cli trace      # render a recorded request trace
     python -m repro.cli scenarios  # list registered initial conditions
-    python -m repro.cli dataset    # generate a training campaign
+    python -m repro.cli campaign   # run/resume/inspect a streaming data campaign
+    python -m repro.cli dataset    # deprecated alias: one-shot campaign to .npz
+    python -m repro.cli models     # inspect the content-addressed model registry
     python -m repro.cli train      # train the DL solvers (Sec. IV pipeline)
     python -m repro.cli reproduce  # regenerate a paper table/figure
 
@@ -94,7 +96,9 @@ def _add_sweep(sub: "argparse._SubParsersAction") -> None:
                         "when the optional dependency is missing) — every backend "
                         "reproduces the numpy float64 results bit for bit")
     p.add_argument("--model-dir", default=None,
-                   help="directory saved by DLFieldSolver.save (required with --solver dl)")
+                   help="directory saved by DLFieldSolver.save, or a registry "
+                        "reference registry:<fingerprint-prefix> (required with "
+                        "--solver dl)")
     p.add_argument("--nv", type=int, default=None,
                    help="Vlasov velocity-grid cells (solver=vlasov; default 128)")
     p.add_argument("--out", default=None, help="save the batched histories to this .npz")
@@ -131,7 +135,9 @@ def _add_serve(sub: "argparse._SubParsersAction") -> None:
     p.add_argument("--capacity", type=int, default=256,
                    help="in-memory LRU slots of the result store")
     p.add_argument("--model-dir", default=None,
-                   help="DLFieldSolver.save directory backing requests with solver=dl")
+                   help="DLFieldSolver.save directory — or a registry reference "
+                        "registry:<fingerprint-prefix> (see 'repro models') — "
+                        "backing requests with solver=dl")
     p.add_argument("--workers", type=int, default=1,
                    help="execution parallelism: 1 (default) runs groups inline on the "
                         "service thread; N > 1 shards compatibility groups across N "
@@ -183,11 +189,76 @@ def _add_scenarios(sub: "argparse._SubParsersAction") -> None:
     )
 
 
+def _add_campaign(sub: "argparse._SubParsersAction") -> None:
+    p = sub.add_parser(
+        "campaign",
+        help="run, resume or inspect a streaming (sharded, resumable) data campaign",
+        description=(
+            "Stream a training-data campaign through the public client as "
+            "sharded npz files plus a resumable manifest.  'run' executes "
+            "missing shards (adopting intact durable ones by content hash), "
+            "'resume' is the same action named explicitly, and 'status' "
+            "reports manifest progress without executing anything.  "
+            "Concatenated shards are bitwise identical to the one-shot "
+            "'repro dataset' output."
+        ),
+    )
+    p.add_argument("action", nargs="?", choices=["run", "resume", "status"],
+                   default="run",
+                   help="run/resume the campaign (default) or report progress")
+    p.add_argument("--preset", choices=["fast", "medium", "paper"], default="fast")
+    p.add_argument("--dir", default="campaign",
+                   help="output directory (shard-*.npz + manifest.json)")
+    p.add_argument("--shard-size", type=int, default=8,
+                   help="simulations per shard (the durability granularity)")
+    p.add_argument("--prefetch", type=int, default=2,
+                   help="shards in flight at once; peak memory is bounded by "
+                        "shard-size x prefetch runs")
+    p.add_argument("--workers", type=int, default=1,
+                   help="executor parallelism of the streaming client")
+    p.add_argument("--fresh", action="store_true",
+                   help="ignore any existing manifest and start over")
+    p.add_argument("--export", default=None, metavar="NPZ",
+                   help="also concatenate every shard into this single .npz")
+
+
 def _add_dataset(sub: "argparse._SubParsersAction") -> None:
-    p = sub.add_parser("dataset", help="generate a training data campaign")
+    p = sub.add_parser(
+        "dataset",
+        help="[deprecated] one-shot campaign to a single .npz; use 'repro campaign'",
+        description=(
+            "Deprecated alias for 'repro campaign run --export <out>': streams "
+            "the campaign into <out>.shards/ and concatenates the shards into "
+            "--out.  Prefer 'repro campaign' directly — it exposes shard size, "
+            "prefetch depth and resumable status."
+        ),
+    )
     p.add_argument("--preset", choices=["fast", "medium", "paper"], default="fast")
     p.add_argument("--workers", type=int, default=1)
     p.add_argument("--out", default="dataset.npz")
+
+
+def _add_models(sub: "argparse._SubParsersAction") -> None:
+    p = sub.add_parser(
+        "models",
+        help="inspect the content-addressed model registry",
+        description=(
+            "List, show, verify or garbage-collect checkpoints in the "
+            "content-addressed model registry.  Registered models are "
+            "addressed by DLFieldSolver fingerprint; any consumer taking a "
+            "model directory (repro sweep/serve --model-dir, Client, "
+            "SimulationService) also accepts registry:<fingerprint-prefix> "
+            "references."
+        ),
+    )
+    p.add_argument("action", nargs="?", choices=["list", "show", "verify", "gc"],
+                   default="list")
+    p.add_argument("ref", nargs="?", default=None,
+                   help="fingerprint prefix (required for 'show'; 'verify' "
+                        "checks every model when omitted)")
+    p.add_argument("--registry", default=None, metavar="DIR",
+                   help="registry root (default $REPRO_REGISTRY_DIR or "
+                        ".artifacts/registry)")
 
 
 def _add_train(sub: "argparse._SubParsersAction") -> None:
@@ -218,7 +289,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serve(sub)
     _add_trace(sub)
     _add_scenarios(sub)
+    _add_campaign(sub)
     _add_dataset(sub)
+    _add_models(sub)
     _add_train(sub)
     _add_reproduce(sub)
     return parser
@@ -667,16 +740,127 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_dataset(args: argparse.Namespace) -> int:
-    from repro.datagen import fast_campaign, medium_campaign, paper_campaign, run_campaign
+def _campaign_preset(name: str):
+    from repro.datagen import fast_campaign, medium_campaign, paper_campaign
 
-    campaign = {"fast": fast_campaign, "medium": medium_campaign,
-                "paper": paper_campaign}[args.preset]()
+    return {"fast": fast_campaign, "medium": medium_campaign,
+            "paper": paper_campaign}[name]()
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.datagen import CampaignStream, FieldDataset
+
+    campaign = _campaign_preset(args.preset)
+    try:
+        stream = CampaignStream(
+            campaign, args.dir,
+            shard_size=args.shard_size, prefetch_depth=args.prefetch,
+            workers=args.workers, resume=not args.fresh,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "status":
+        status = stream.status()
+        print(f"campaign {status['campaign_hash'][:12]} in {status['out_dir']}: "
+              f"{status['shards_intact']}/{status['n_shards']} shards intact "
+              f"({status['n_runs']} simulations total)")
+        for key in ("shards_recorded", "shards_missing", "complete"):
+            print(f"  {key}: {status[key]}")
+        return 0
+    print(f"streaming {campaign.n_simulations} simulations into {args.dir} "
+          f"({len(stream.plan())} shards of {args.shard_size}, "
+          f"prefetch {args.prefetch}, {args.workers} worker(s))...")
+    shards = []
+    try:
+        for shard in stream:
+            print(f"  shard {shard.index:05d} [{shard.status:>8}] "
+                  f"{shard.n_runs} runs, {shard.n_samples:,} samples "
+                  f"-> {shard.path.name}")
+            shards.append(shard)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stats = stream.stats
+    print(f"done: {stats['shards_executed']} executed, "
+          f"{stats['shards_verified']} verified, "
+          f"{stats['shards_repaired']} repaired "
+          f"({stats['runs_executed']} runs executed, "
+          f"{stats['runs_skipped']} skipped)")
+    if args.export:
+        data = FieldDataset.concatenate([shard.load() for shard in shards])
+        data.save(args.export)
+        print(f"exported {len(data):,} pairs to {args.export}")
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    # Deprecated alias for 'repro campaign run --export': same streaming
+    # pipeline, shards parked next to the output file.
+    from repro.datagen import CampaignStream
+
+    campaign = _campaign_preset(args.preset)
     print(f"running {campaign.n_simulations} simulations "
           f"({campaign.n_samples:,} samples)...")
-    data = run_campaign(campaign, n_workers=args.workers)
+    print("note: 'repro dataset' is a deprecated alias for 'repro campaign'")
+    stream = CampaignStream(
+        campaign, f"{args.out}.shards", workers=args.workers,
+    )
+    data = stream.dataset()
     data.save(args.out)
     print(f"saved {len(data):,} pairs to {args.out}")
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.registry import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    if args.action == "gc":
+        removed = registry.gc()
+        print(f"collected {len(removed)} entr{'y' if len(removed) == 1 else 'ies'} "
+              f"from {registry.root}")
+        for name in removed:
+            print(f"  removed {name}")
+        return 0
+    if args.action == "show":
+        if args.ref is None:
+            print("error: 'repro models show' needs a fingerprint prefix",
+                  file=sys.stderr)
+            return 2
+        try:
+            model = registry.get(args.ref)
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(json.dumps({"fingerprint": model.fingerprint,
+                          "path": str(model.path), **model.meta}, indent=2))
+        return 0
+    if args.action == "verify":
+        refs = [args.ref] if args.ref else [m.fingerprint for m in registry.list()]
+        if not refs:
+            print(f"no models registered in {registry.root}")
+            return 0
+        failed = 0
+        for ref in refs:
+            try:
+                ok = registry.verify(ref)
+            except (KeyError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(f"  {ref[:16]:<16} {'ok' if ok else 'CORRUPT'}")
+            failed += 0 if ok else 1
+        return 1 if failed else 0
+    models = registry.list()
+    if not models:
+        print(f"no models registered in {registry.root}")
+        return 0
+    print(f"{len(models)} model(s) in {registry.root}:")
+    for model in models:
+        lineage = model.lineage
+        campaign = lineage.get("campaign_manifest_hash") or "-"
+        print(f"  {model.fingerprint[:16]}  campaign={str(campaign)[:12]}  "
+              f"(use --model-dir registry:{model.fingerprint[:12]})")
     return 0
 
 
@@ -742,7 +926,9 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "trace": _cmd_trace,
     "scenarios": _cmd_scenarios,
+    "campaign": _cmd_campaign,
     "dataset": _cmd_dataset,
+    "models": _cmd_models,
     "train": _cmd_train,
     "reproduce": _cmd_reproduce,
 }

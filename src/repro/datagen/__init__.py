@@ -3,6 +3,7 @@
 from repro.datagen.dataset import FieldDataset
 from repro.datagen.campaign import (
     CampaignConfig,
+    dataset_from_result,
     harvest_ensemble,
     harvest_simulation,
     harvest_via_client,
@@ -10,15 +11,28 @@ from repro.datagen.campaign import (
     run_test_set_ii,
 )
 from repro.datagen.presets import fast_campaign, medium_campaign, paper_campaign
+from repro.datagen.stream import (
+    CampaignStream,
+    CompletedShard,
+    ShardSpec,
+    campaign_hash,
+    stream_campaign,
+)
 
 __all__ = [
     "FieldDataset",
     "CampaignConfig",
+    "CampaignStream",
+    "CompletedShard",
+    "ShardSpec",
+    "campaign_hash",
+    "dataset_from_result",
     "harvest_ensemble",
     "harvest_simulation",
     "harvest_via_client",
     "run_campaign",
     "run_test_set_ii",
+    "stream_campaign",
     "fast_campaign",
     "medium_campaign",
     "paper_campaign",

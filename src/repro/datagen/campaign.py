@@ -90,6 +90,37 @@ class CampaignConfig:
                     i += 1
         return specs
 
+    def run_configs(self) -> "list[SimulationConfig]":
+        """One :class:`SimulationConfig` per run, in spec order."""
+        return [
+            self.base_config.with_updates(v0=v0, vth=vth, seed=seed)
+            for v0, vth, seed in self.simulation_specs()
+        ]
+
+    def to_canonical_dict(self) -> dict:
+        """JSON-stable description of the sweep (the campaign identity).
+
+        Two campaigns with equal canonical dicts produce bitwise-equal
+        datasets; the streaming pipeline hashes this to decide whether
+        an existing manifest belongs to the same campaign.
+        """
+        return {
+            "v0_values": list(self.v0_values),
+            "vth_values": list(self.vth_values),
+            "experiments_per_combo": self.experiments_per_combo,
+            "base_config": self.base_config.to_dict(),
+            "ps_grid": {
+                "n_x": self.ps_grid.n_x,
+                "n_v": self.ps_grid.n_v,
+                "box_length": self.ps_grid.box_length,
+                "v_min": self.ps_grid.v_min,
+                "v_max": self.ps_grid.v_max,
+            },
+            "binning": self.binning,
+            "include_initial_state": self.include_initial_state,
+            "master_seed": self.master_seed,
+        }
+
 
 def harvest_simulation(
     config: SimulationConfig,
@@ -225,6 +256,37 @@ def _harvest_observables(ps_grid: PhaseSpaceGrid, binning: str) -> "list[object]
     ]
 
 
+def dataset_from_result(
+    config: SimulationConfig,
+    result: "object",
+    ps_grid: PhaseSpaceGrid,
+    include_initial_state: bool = True,
+) -> FieldDataset:
+    """Assemble one run's harvested pairs from its served result.
+
+    ``result`` is any object with a ``series`` mapping holding the
+    ``training_pairs`` observables output (``histograms`` + ``fields``)
+    — a :class:`~repro.api.RunResult` or a service-layer result.  The
+    one assembly path shared by the materializing harvest
+    (:func:`harvest_via_client`) and the streaming campaign
+    (:mod:`repro.datagen.stream`), so the two are bitwise
+    interchangeable by construction.
+    """
+    first = 0 if include_initial_state else 1
+    hists = np.asarray(result.series["histograms"])[first:]
+    fields = np.asarray(result.series["fields"])[first:]
+    n_pairs = hists.shape[0]
+    params = np.column_stack(
+        [
+            np.full(n_pairs, config.v0),
+            np.full(n_pairs, config.vth),
+            np.full(n_pairs, float(config.seed)),
+            np.arange(first, first + n_pairs, dtype=np.float64),
+        ]
+    )
+    return FieldDataset(inputs=hists, targets=fields, params=params, ps_grid=ps_grid)
+
+
 def harvest_via_client(
     configs: Sequence[SimulationConfig],
     ps_grid: PhaseSpaceGrid,
@@ -267,23 +329,10 @@ def harvest_via_client(
     ) as client:
         results = client.map(requests)
 
-    first = 0 if include_initial_state else 1
-    parts: "list[FieldDataset]" = []
-    for cfg, result in zip(configs, results):
-        hists = np.asarray(result.series["histograms"])[first:]
-        fields = np.asarray(result.series["fields"])[first:]
-        n_pairs = hists.shape[0]
-        params = np.column_stack(
-            [
-                np.full(n_pairs, cfg.v0),
-                np.full(n_pairs, cfg.vth),
-                np.full(n_pairs, float(cfg.seed)),
-                np.arange(first, first + n_pairs, dtype=np.float64),
-            ]
-        )
-        parts.append(
-            FieldDataset(inputs=hists, targets=fields, params=params, ps_grid=ps_grid)
-        )
+    parts = [
+        dataset_from_result(cfg, result, ps_grid, include_initial_state)
+        for cfg, result in zip(configs, results)
+    ]
     return FieldDataset.concatenate(parts)
 
 
@@ -301,10 +350,7 @@ def run_campaign(campaign: CampaignConfig, n_workers: int = 1) -> FieldDataset:
     """
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
-    run_configs = [
-        campaign.base_config.with_updates(v0=v0, vth=vth, seed=seed)
-        for v0, vth, seed in campaign.simulation_specs()
-    ]
+    run_configs = campaign.run_configs()
     if n_workers == 1:
         chunk = max(1, _ENSEMBLE_PARTICLE_BUDGET // campaign.base_config.n_particles)
         return harvest_via_client(

@@ -34,8 +34,13 @@ class FieldDataset:
     ps_grid: PhaseSpaceGrid
 
     def __post_init__(self) -> None:
-        self.inputs = np.asarray(self.inputs, dtype=np.float64)
-        self.targets = np.asarray(self.targets, dtype=np.float64)
+        # Preserve a float32 pair tier (the raw-speed kernels emit
+        # float32 and casting up would fake precision + double memory);
+        # everything else — ints from histogram binning included —
+        # still normalizes to float64.  Provenance params are always
+        # float64: they are labels, not data.
+        self.inputs = self._as_float(self.inputs)
+        self.targets = self._as_float(self.targets)
         self.params = np.asarray(self.params, dtype=np.float64)
         n = self.inputs.shape[0]
         if self.targets.shape[0] != n or self.params.shape[0] != n:
@@ -48,6 +53,13 @@ class FieldDataset:
                 f"inputs shape {self.inputs.shape} does not match phase-space grid "
                 f"{self.ps_grid.shape}"
             )
+
+    @staticmethod
+    def _as_float(values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values)
+        if values.dtype == np.float32:
+            return values
+        return np.asarray(values, dtype=np.float64)
 
     def __len__(self) -> int:
         return self.inputs.shape[0]

@@ -266,13 +266,23 @@ class DLFieldSolver:
 
     @classmethod
     def load_auto(cls, directory: "str | Path") -> "DLFieldSolver":
-        """Rebuild a solver from a saved directory alone.
+        """Rebuild a solver from a saved directory or registry reference.
 
         Unlike :meth:`load` no pre-built architecture is needed: the
         checkpoint's layer fingerprint reconstructs the network
         (:meth:`Sequential.from_saved`).  This is what lets the CLI run
         ``repro sweep --solver dl --model-dir <dir>`` against any saved
-        solver.
+        solver.  ``registry:<fingerprint-prefix>`` (and
+        ``registry:<root>:<prefix>``) references resolve through the
+        content-addressed model registry (:mod:`repro.registry`) — and
+        because every ``model_dir`` consumer funnels through this
+        method, registry refs work identically for the CLI, an
+        in-process service and spawned executor workers.
         """
+        if str(directory).startswith("registry:"):
+            # Lazy import: the registry depends on this module.
+            from repro.registry import resolve_model_dir
+
+            directory = resolve_model_dir(directory)
         directory = Path(directory)
         return cls.load(directory, Sequential.from_saved(directory / "model.npz"))

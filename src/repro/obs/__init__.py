@@ -17,8 +17,17 @@ Three pieces:
   Prometheus text exposition format.
 * :mod:`repro.obs.waterfall` — the ``repro trace`` inspector's span
   timeline rendering (per-span bars, durations and percentages).
+* :mod:`repro.obs.metrics` — process-global counters for the data
+  campaign pipeline and model registry, folded into the server's
+  metrics snapshot.
 """
 
+from repro.obs.metrics import (
+    campaign_snapshot,
+    record_campaign_shard,
+    registry_snapshot,
+    set_registry_models,
+)
 from repro.obs.prometheus import DurationHistogram, render_prometheus
 from repro.obs.trace import (
     NOOP_TRACE,
@@ -48,9 +57,13 @@ __all__ = [
     "Trace",
     "TraceBuffer",
     "Tracer",
+    "campaign_snapshot",
     "new_span_id",
     "new_trace_id",
+    "record_campaign_shard",
+    "registry_snapshot",
     "render_prometheus",
+    "set_registry_models",
     "render_waterfall",
     "span_tree",
     "spans_from_wire",

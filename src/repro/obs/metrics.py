@@ -1,0 +1,72 @@
+"""Process-global campaign + registry telemetry counters.
+
+The streaming data-campaign pipeline (:mod:`repro.datagen.stream`) and
+the content-addressed model registry (:mod:`repro.registry`) run both
+inside and outside a server process, so their counters live here as
+process-wide state rather than on any one service object.  The server's
+``/v1/metrics`` snapshot reads them through :func:`campaign_snapshot` /
+:func:`registry_snapshot`, and ``render_prometheus`` turns them into
+the ``repro_campaign_shards_total{status=...}`` counter and the
+``repro_registry_models`` gauge.
+
+Stdlib-only, like the rest of :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "campaign_snapshot",
+    "record_campaign_shard",
+    "registry_snapshot",
+    "reset_metrics",
+    "set_registry_models",
+]
+
+#: Shard completion statuses recorded by the campaign stream:
+#: ``executed`` (ran through the client), ``verified`` (an intact
+#: durable shard was adopted without recomputation) and ``repaired``
+#: (a corrupt/truncated shard was detected and re-executed).
+SHARD_STATUSES = ("executed", "verified", "repaired")
+
+_lock = threading.Lock()
+_shards_by_status: "dict[str, int]" = {}
+_registry_models = 0
+
+
+def record_campaign_shard(status: str, n: int = 1) -> None:
+    """Count ``n`` campaign shards completed with ``status``."""
+    with _lock:
+        _shards_by_status[status] = _shards_by_status.get(status, 0) + n
+
+
+def set_registry_models(count: int) -> None:
+    """Record the current number of models in the registry (a gauge)."""
+    global _registry_models
+    with _lock:
+        _registry_models = int(count)
+
+
+def campaign_snapshot() -> "dict[str, object]":
+    """JSON-friendly campaign counters for ``/v1/metrics``."""
+    with _lock:
+        by_status = dict(_shards_by_status)
+    return {
+        "shards_total": sum(by_status.values()),
+        "shards_by_status": by_status,
+    }
+
+
+def registry_snapshot() -> "dict[str, object]":
+    """JSON-friendly registry gauges for ``/v1/metrics``."""
+    with _lock:
+        return {"models": _registry_models}
+
+
+def reset_metrics() -> None:
+    """Zero all counters (test isolation)."""
+    global _registry_models
+    with _lock:
+        _shards_by_status.clear()
+        _registry_models = 0

@@ -260,4 +260,27 @@ def render_prometheus(snapshot: Mapping) -> str:
     if isinstance(traces, Mapping):
         _flat_gauges(w, "repro_traces", traces, "Trace buffer gauge")
 
+    campaign = snapshot.get("campaign", {})
+    if isinstance(campaign, Mapping) and campaign:
+        w.header(
+            "repro_campaign_shards_total",
+            "counter",
+            "Data-campaign shards completed per status.",
+        )
+        by_status = campaign.get("shards_by_status", {})
+        if isinstance(by_status, Mapping):
+            for status, count in sorted(by_status.items()):
+                w.sample(
+                    "repro_campaign_shards_total", count, {"status": status}
+                )
+
+    registry = snapshot.get("registry", {})
+    if isinstance(registry, Mapping) and registry:
+        w.header(
+            "repro_registry_models",
+            "gauge",
+            "Checkpoints in the content-addressed model registry.",
+        )
+        w.sample("repro_registry_models", registry.get("models", 0))
+
     return w.text()

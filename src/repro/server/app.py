@@ -73,6 +73,7 @@ from repro.api.envelope import (
     now,
 )
 from repro.api.transport import InProcessTransport
+from repro.obs.metrics import campaign_snapshot, registry_snapshot
 from repro.obs.prometheus import DurationHistogram, render_prometheus
 from repro.obs.trace import NOOP_TRACER, PARENT_HEADER, TRACE_HEADER, spans_from_wire
 from repro.server.http import (
@@ -702,6 +703,11 @@ class SimulationServer:
             # Executor-pool gauges: busy/idle workers, per-shard
             # executed-run counts, group queue latency.
             "pool": getattr(self.service, "executor_stats", {}),
+            # Process-global data-campaign + model-registry gauges
+            # (populated by CampaignStream / ModelRegistry activity in
+            # this process, e.g. when the server also drives harvests).
+            "campaign": campaign_snapshot(),
+            "registry": registry_snapshot(),
         }
 
 

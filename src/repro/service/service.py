@@ -390,6 +390,36 @@ class SimulationService:
         self.close()
 
     # -- internals -------------------------------------------------------
+    def _require_dl_fingerprint(self) -> str:
+        """The serving DL model's fingerprint (loads from model_dir lazily).
+
+        A service constructed with only ``model_dir=`` (the sharded
+        form — workers rehydrate their own solver) still needs the
+        model identity for result keys and delivered results, so the
+        checkpoint is loaded here once, on the first DL submit.
+        ``model_dir`` may be a plain directory or a ``registry:``
+        reference (resolved by :meth:`DLFieldSolver.load_auto`).
+        """
+        if self._dl_fingerprint is None:
+            if self._dl_solver is None:
+                if self._model_dir is None:
+                    raise ValueError(
+                        "this service has no DL solver; construct it with "
+                        "dl_solver=... or model_dir=..."
+                    )
+                from repro.dlpic.solver import DLFieldSolver
+
+                self._dl_solver = DLFieldSolver.load_auto(self._model_dir)
+                # The inline executor runs on this process: hand it the
+                # freshly loaded solver so it is not loaded twice.
+                if (
+                    isinstance(self._executor, InlineExecutor)
+                    and self._executor._dl_solver is None
+                ):
+                    self._executor._dl_solver = self._dl_solver
+            self._dl_fingerprint = self._dl_solver.fingerprint()
+        return self._dl_fingerprint
+
     def _result_key(
         self,
         config: SimulationConfig,
@@ -399,13 +429,7 @@ class SimulationService:
     ) -> str:
         fingerprint = None
         if solver == "dl":
-            if self._dl_solver is None:
-                raise ValueError(
-                    "this service has no DL solver; construct it with dl_solver=..."
-                )
-            if self._dl_fingerprint is None:
-                self._dl_fingerprint = self._dl_solver.fingerprint()
-            fingerprint = self._dl_fingerprint
+            fingerprint = self._require_dl_fingerprint()
         return result_key(
             config, solver, solver_fingerprint=fingerprint,
             observables=observables, phase_space=phase_space,
@@ -523,6 +547,12 @@ class SimulationService:
                 final_x=outcome.final_x[b],
                 final_v=outcome.final_v[b],
                 final_f=outcome.final_f[b],
+                # DL results carry the serving model's identity; the
+                # fingerprint was resolved at submit time (it is part of
+                # the result key), so this is a cached read.
+                model_fingerprint=(
+                    self._dl_fingerprint if request.solver == "dl" else None
+                ),
                 timings=timings,
             )
             t_put = time.perf_counter()

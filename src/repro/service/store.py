@@ -124,6 +124,10 @@ class SimulationResult:
     final_x: "np.ndarray | None" = None
     final_v: "np.ndarray | None" = None
     final_f: "np.ndarray | None" = None
+    #: Fingerprint of the DL model that produced this result (``None``
+    #: for non-DL families).  Persisted with the archive, so a disk
+    #: round trip keeps the lineage.
+    model_fingerprint: "str | None" = None
     timings: "dict[str, object] | None" = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
@@ -242,6 +246,8 @@ class ResultStore:
             "solver": result.solver,
             "efield": np.asarray(result.efield),
         }
+        if result.model_fingerprint is not None:
+            payload["model_fingerprint"] = result.model_fingerprint
         for name in ("final_x", "final_v", "final_f"):
             values = getattr(result, name)
             if values is not None:
@@ -281,4 +287,5 @@ class ResultStore:
             final_x=payload.get("final_x"),
             final_v=payload.get("final_v"),
             final_f=payload.get("final_f"),
+            model_fingerprint=payload.get("model_fingerprint"),
         )

@@ -370,10 +370,112 @@ class TestDatasetCommand:
         code = main(["dataset", "--preset", "fast", "--out", str(out)])
         assert code == 0
         assert out.exists()
+        assert "deprecated alias" in capsys.readouterr().out
         from repro.datagen.dataset import FieldDataset
 
         data = FieldDataset.load(out)
         assert len(data) == 244  # fast campaign size
+
+
+class TestCampaignCommand:
+    def test_run_then_status_then_resume(self, capsys, tmp_path):
+        campaign_dir = tmp_path / "camp"
+        argv = ["campaign", "run", "--preset", "fast", "--dir",
+                str(campaign_dir), "--shard-size", "2"]
+        assert main(argv) == 0
+        text = capsys.readouterr().out
+        assert "[executed]" in text
+        assert (campaign_dir / "manifest.json").exists()
+        assert sorted(p.name for p in campaign_dir.glob("shard-*.npz")) == [
+            "shard-00000.npz", "shard-00001.npz",
+        ]
+
+        assert main(["campaign", "status", "--preset", "fast", "--dir",
+                     str(campaign_dir), "--shard-size", "2"]) == 0
+        assert "2/2 shards intact" in capsys.readouterr().out
+
+        assert main(["campaign", "resume", "--preset", "fast", "--dir",
+                     str(campaign_dir), "--shard-size", "2"]) == 0
+        text = capsys.readouterr().out
+        assert "[verified]" in text
+        assert "0 runs executed" in text
+
+    def test_export_matches_dataset_command(self, capsys, tmp_path):
+        export = tmp_path / "campaign.npz"
+        assert main(["campaign", "run", "--preset", "fast", "--dir",
+                     str(tmp_path / "camp"), "--export", str(export)]) == 0
+        direct = tmp_path / "direct.npz"
+        assert main(["dataset", "--preset", "fast", "--out", str(direct)]) == 0
+        from repro.datagen.dataset import FieldDataset
+
+        a, b = FieldDataset.load(export), FieldDataset.load(direct)
+        assert np.array_equal(a.inputs, b.inputs)
+        assert np.array_equal(a.targets, b.targets)
+        assert np.array_equal(a.params, b.params)
+
+    def test_mismatched_campaign_reports_cleanly(self, capsys, tmp_path):
+        campaign_dir = tmp_path / "camp"
+        assert main(["campaign", "run", "--preset", "fast", "--dir",
+                     str(campaign_dir), "--shard-size", "2"]) == 0
+        capsys.readouterr()
+        code = main(["campaign", "run", "--preset", "fast", "--dir",
+                     str(campaign_dir), "--shard-size", "3"])
+        assert code == 2
+        assert "different campaign" in capsys.readouterr().err
+
+
+class TestModelsCommand:
+    def _register(self, tmp_path):
+        from repro.config import SimulationConfig
+        from repro.dlpic import DLFieldSolver
+        from repro.models.architectures import build_mlp
+        from repro.phasespace.binning import PhaseSpaceGrid
+        from repro.phasespace.normalization import MinMaxNormalizer
+        from repro.registry import ModelRegistry
+
+        config = SimulationConfig(n_cells=32)
+        grid = PhaseSpaceGrid(n_x=16, n_v=8, box_length=config.box_length)
+        model = build_mlp(input_size=grid.size, output_size=32, hidden_size=8, rng=0)
+        solver = DLFieldSolver(
+            model, grid, MinMaxNormalizer.from_dict({"minimum": 0.0, "maximum": 50.0})
+        )
+        root = tmp_path / "registry"
+        return root, ModelRegistry(root).register(solver).fingerprint
+
+    def test_list_show_verify(self, capsys, tmp_path):
+        root, fingerprint = self._register(tmp_path)
+        assert main(["models", "list", "--registry", str(root)]) == 0
+        text = capsys.readouterr().out
+        assert fingerprint[:16] in text
+        assert "registry:" in text
+
+        assert main(["models", "show", fingerprint[:8],
+                     "--registry", str(root)]) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert shown["fingerprint"] == fingerprint
+
+        assert main(["models", "verify", "--registry", str(root)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_verify_flags_corruption_and_gc_collects(self, capsys, tmp_path):
+        root, fingerprint = self._register(tmp_path)
+        weights = root / "models" / fingerprint / "model.npz"
+        weights.write_bytes(weights.read_bytes()[:-20])
+        assert main(["models", "verify", "--registry", str(root)]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+        assert main(["models", "gc", "--registry", str(root)]) == 0
+        assert "collected 1" in capsys.readouterr().out
+        assert main(["models", "list", "--registry", str(root)]) == 0
+        assert "no models registered" in capsys.readouterr().out
+
+    def test_empty_registry_and_missing_ref_report_cleanly(self, capsys, tmp_path):
+        root = tmp_path / "registry"
+        assert main(["models", "list", "--registry", str(root)]) == 0
+        assert "no models registered" in capsys.readouterr().out
+        assert main(["models", "show", "--registry", str(root)]) == 2
+        assert "needs a fingerprint prefix" in capsys.readouterr().err
+        assert main(["models", "show", "abcd", "--registry", str(root)]) == 2
+        assert "no model" in capsys.readouterr().err
 
 
 class TestTrainAndReproduce:

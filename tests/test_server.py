@@ -490,7 +490,8 @@ class TestMetricsSchema:
     TOP_LEVEL = {
         "api_version", "requests", "parse_failures", "http_responses",
         "connections", "queue", "cache_hit_ratio", "batch_size_histogram",
-        "latency", "stages", "traces", "service", "pool",
+        "latency", "stages", "traces", "service", "pool", "campaign",
+        "registry",
     }
 
     def test_golden_key_set(self, server):
@@ -516,6 +517,8 @@ class TestMetricsSchema:
             payload["stages"]
         )
         assert payload["traces"] == {}  # tracing off on this server
+        assert set(payload["campaign"]) == {"shards_total", "shards_by_status"}
+        assert set(payload["registry"]) == {"models"}
 
     def test_prometheus_format_parses(self, server):
         status, data = raw_request(
@@ -531,6 +534,8 @@ class TestMetricsSchema:
         assert "repro_requests_total" in text
         assert "repro_stage_duration_seconds_bucket" in text
         assert 'quantile="0.5"' in text
+        assert "repro_campaign_shards_total" in text
+        assert "repro_registry_models" in text
 
     def test_unknown_metrics_format_400(self, server):
         status, data = raw_request(server, "GET", "/v1/metrics?format=xml")
